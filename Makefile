@@ -1,0 +1,42 @@
+# Convenience targets for the landmarkdht reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments experiments-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+# Skips the multi-second integration experiments.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...
+
+# Quick qualitative reproduction of every table/figure (~2 min).
+experiments:
+	$(GO) run ./cmd/lmsim -exp all -scale small
+
+# Full §4 scale (slow; hours on a small machine).
+experiments-paper:
+	$(GO) run ./cmd/lmsim -exp all -scale paper
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dnasearch
+	$(GO) run ./examples/docsearch
+	$(GO) run ./examples/multiindex
+	$(GO) run ./examples/faulttolerance
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,231 @@
+package landmarkdht
+
+// One benchmark per table and figure of the paper's evaluation (§4),
+// plus the DESIGN.md ablations. Each iteration regenerates the full
+// experiment at BenchScale — a reduced size that preserves the
+// qualitative shapes. Run the paper-scale versions with:
+//
+//	go run ./cmd/lmsim -exp all -scale paper
+//
+// Custom metrics expose the headline numbers (mean recall, max load)
+// so regressions in reproduction quality show up in benchmark diffs.
+
+import (
+	"testing"
+
+	"landmarkdht/internal/harness"
+)
+
+func benchScale() harness.Scale { return harness.BenchScale() }
+
+func meanRecall(cells []harness.Cell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += c.Recall
+	}
+	return sum / float64(len(cells))
+}
+
+func BenchmarkTable1DatasetGeneration(b *testing.B) {
+	scale := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.BuildSynthetic(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2CorpusStats(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		st, err := harness.Table2(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Stats.P50), "median-size")
+		b.ReportMetric(st.Stats.Mean, "mean-size")
+	}
+}
+
+func BenchmarkFigure2NoLB(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Figure2(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanRecall(cells), "mean-recall")
+	}
+}
+
+func BenchmarkFigure3WithLB(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Figure3(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanRecall(cells), "mean-recall")
+	}
+}
+
+func BenchmarkFigure4LoadDistribution(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		curves, err := harness.Figure4(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxLoad := 0
+		for _, c := range curves {
+			if len(c.Loads) > 0 && c.Loads[0] > maxLoad {
+				maxLoad = c.Loads[0]
+			}
+		}
+		b.ReportMetric(float64(maxLoad), "max-load")
+	}
+}
+
+func BenchmarkFigure5TRECSubstitute(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Figure5(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanRecall(cells), "mean-recall")
+	}
+}
+
+func BenchmarkFigure6TRECLoadDistribution(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		curves, err := harness.Figure6(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper's point: greedy stays skewed, k-means evens out.
+		for _, c := range curves {
+			if len(c.Loads) > 0 {
+				b.ReportMetric(float64(c.Loads[0]), c.Scheme+"-max")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationRotation(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationRotation(scale, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res[0].CombinedMax), "unrotated-max")
+		b.ReportMetric(float64(res[1].CombinedMax), "rotated-max")
+	}
+}
+
+func BenchmarkAblationNaive(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.AblationNaive(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var treeMsgs, naiveMsgs float64
+		half := len(cells) / 2
+		for i, c := range cells {
+			if i < half {
+				treeMsgs += c.QueryMsgs.Mean
+			} else {
+				naiveMsgs += c.QueryMsgs.Mean
+			}
+		}
+		b.ReportMetric(treeMsgs/float64(half), "tree-msgs")
+		b.ReportMetric(naiveMsgs/float64(half), "naive-msgs")
+	}
+}
+
+func BenchmarkAblationLB(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationLB(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationK(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationK(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChurn(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.AblationChurn(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].Cell.Recall, "no-churn-recall")
+		b.ReportMetric(cells[len(cells)-1].Cell.Recall, "harsh-churn-recall")
+	}
+}
+
+func BenchmarkAblationPNS(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.AblationPNS(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].RespMs.Mean, "pns-on-resp-ms")
+		b.ReportMetric(cells[1].RespMs.Mean, "pns-off-resp-ms")
+	}
+}
+
+// BenchmarkPublicAPISearch measures a single end-to-end range search
+// through the public facade.
+func BenchmarkPublicAPISearch(b *testing.B) {
+	p, err := New(Options{Nodes: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := testDataForBench(4000, 8, 2)
+	ix, err := AddIndex(p, EuclideanSpace("bench", 8, -100, 200), data, DenseMean,
+		IndexOptions{Landmarks: 5, SampleSize: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.RangeSearch(data[i%len(data)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func testDataForBench(n, dim int, seed int64) []Vector {
+	return testData(n, dim, seed)
+}
+
+func BenchmarkAblationMapping(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.AblationMapping(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].NodesTouched.Mean, "morton-nodes")
+		b.ReportMetric(cells[1].NodesTouched.Mean, "hilbert-nodes")
+	}
+}

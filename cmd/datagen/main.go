@@ -1,0 +1,85 @@
+// Command datagen generates the evaluation datasets as CSV/TSV on
+// stdout: the §4.2 clustered synthetic vectors, the §4.3 TREC-AP
+// substitute corpus (term-weight postings), or DNA-like strings.
+//
+// Usage:
+//
+//	datagen -kind synthetic -n 1000 -dim 10 > syn.csv
+//	datagen -kind corpus -n 500 > docs.tsv
+//	datagen -kind dna -n 200 -len 60 > dna.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"landmarkdht/internal/dataset"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "synthetic", "dataset kind: synthetic, corpus, dna")
+		n        = flag.Int("n", 1000, "number of objects")
+		dim      = flag.Int("dim", 100, "dimensions (synthetic)")
+		clusters = flag.Int("clusters", 10, "clusters (synthetic)")
+		dev      = flag.Float64("dev", 20, "cluster deviation (synthetic)")
+		vocab    = flag.Int("vocab", 50000, "vocabulary size (corpus)")
+		length   = flag.Int("len", 60, "sequence length (dna)")
+		families = flag.Int("families", 8, "sequence families (dna)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *kind {
+	case "synthetic":
+		data, err := dataset.Clustered(dataset.ClusteredConfig{
+			N: *n, Dim: *dim, Lo: 0, Hi: 100, Clusters: *clusters, Dev: *dev, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range data {
+			for i, x := range v {
+				if i > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%.4f", x)
+			}
+			fmt.Fprintln(w)
+		}
+	case "corpus":
+		c, err := dataset.NewCorpus(dataset.CorpusConfig{Docs: *n, Vocab: *vocab, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		for di, d := range c.Docs {
+			fmt.Fprintf(w, "doc%d\ttopic%d", di, c.Topic[di])
+			for i, term := range d.Idx {
+				fmt.Fprintf(w, "\t%d:%.4f", term, d.Val[i])
+			}
+			fmt.Fprintln(w)
+		}
+	case "dna":
+		seqs, fams, err := dataset.DNA(dataset.DNAConfig{
+			N: *n, Length: *length, Families: *families, MutationRate: 0.05, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		for i, s := range seqs {
+			fmt.Fprintf(w, "%d\t%s\n", fams[i], s)
+		}
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+}

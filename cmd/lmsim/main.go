@@ -1,0 +1,209 @@
+// Command lmsim regenerates the paper's tables and figures (and the
+// DESIGN.md ablations) from the simulator.
+//
+// Usage:
+//
+//	lmsim -exp fig2                 # one experiment at the small scale
+//	lmsim -exp all -scale paper     # full §4 reproduction (slow)
+//	lmsim -exp fig5 -nodes 512      # override individual knobs
+//
+// Experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 rotation naive
+// lbsweep ksweep pns churn mapping all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"landmarkdht/internal/dataset"
+	"landmarkdht/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: table1 table2 fig2 fig3 fig4 fig5 fig6 rotation naive lbsweep ksweep pns churn mapping all")
+		scaleNm = flag.String("scale", "small", "scale preset: bench, small, paper")
+		nodes   = flag.Int("nodes", 0, "override overlay size")
+		dataN   = flag.Int("data", 0, "override synthetic dataset size")
+		queries = flag.Int("queries", 0, "override query count")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		trials  = flag.Int("trials", 1, "repeat cell experiments (fig2/fig3/fig5/naive/ksweep) over N seeds and report mean±std")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON reports instead of tables")
+	)
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleNm {
+	case "bench":
+		scale = harness.BenchScale()
+	case "small":
+		scale = harness.SmallScale()
+	case "paper":
+		scale = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "lmsim: unknown scale %q\n", *scaleNm)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		scale.Nodes = *nodes
+	}
+	if *dataN > 0 {
+		scale.DataN = *dataN
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	emit := func(rep *harness.Report) error {
+		if *jsonOut {
+			return rep.WriteJSON(os.Stdout)
+		}
+		return nil
+	}
+	cellExperiment := func(id, title string, withLB bool, fn func(harness.Scale) ([]harness.Cell, error)) error {
+		if *trials > 1 {
+			tcells, err := harness.Trials(scale, *trials, fn)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Trial: tcells})
+			}
+			harness.PrintTrials(os.Stdout, title, tcells)
+			return nil
+		}
+		cells, err := fn(scale)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(&harness.Report{Experiment: id, Scale: scale, Cells: cells})
+		}
+		if withLB {
+			harness.PrintCellsWithLB(os.Stdout, title, cells)
+		} else {
+			harness.PrintCells(os.Stdout, title, cells)
+		}
+		return nil
+	}
+
+	run := func(id string) error {
+		start := time.Now()
+		defer func() {
+			if !*jsonOut {
+				fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+			}
+		}()
+		switch id {
+		case "table1":
+			cfg := dataset.Table1()
+			cfg.N = scale.DataN
+			cfg.Dim = scale.Dim
+			if !*jsonOut {
+				harness.PrintTable1(os.Stdout, cfg)
+			}
+			return nil
+		case "table2":
+			st, err := harness.Table2(scale)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Table2: st})
+			}
+			harness.PrintTable2(os.Stdout, st)
+			return nil
+		case "fig2":
+			return cellExperiment(id, "Figure 2: synthetic dataset, no load balancing", false, harness.Figure2)
+		case "fig3":
+			return cellExperiment(id, "Figure 3: synthetic dataset, with load balancing (δ=0, P_l=4)", true, harness.Figure3)
+		case "fig4":
+			curves, err := harness.Figure4(scale)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Curves: curves})
+			}
+			harness.PrintLoadCurves(os.Stdout, "Figure 4: load distribution on nodes (synthetic, with LB)", curves)
+			return nil
+		case "fig5":
+			return cellExperiment(id, "Figure 5: TREC-AP substitute, with load balancing", true, harness.Figure5)
+		case "fig6":
+			curves, err := harness.Figure6(scale)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Curves: curves})
+			}
+			harness.PrintLoadCurves(os.Stdout, "Figure 6: load distribution (TREC-AP substitute)", curves)
+			return nil
+		case "rotation":
+			res, err := harness.AblationRotation(scale, 3)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Rotation: res})
+			}
+			harness.PrintRotation(os.Stdout, res)
+			return nil
+		case "naive":
+			return cellExperiment(id, "Ablation A2: embedded-tree routing vs naive per-node routing", false, harness.AblationNaive)
+		case "lbsweep":
+			cells, err := harness.AblationLB(scale)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, LBSweep: cells})
+			}
+			harness.PrintLBSweep(os.Stdout, cells)
+			return nil
+		case "ksweep":
+			return cellExperiment(id, "Ablation A4: landmark count sweep (range factor 2%)", false, harness.AblationK)
+		case "mapping":
+			cells, err := harness.AblationMapping(scale)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Mapping: cells})
+			}
+			harness.PrintMapping(os.Stdout, cells)
+			return nil
+		case "churn":
+			cells, err := harness.AblationChurn(scale)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Churn: cells})
+			}
+			harness.PrintChurn(os.Stdout, cells)
+			return nil
+		case "pns":
+			return cellExperiment(id, "Ablation A5: proximity neighbor selection on/off", false, harness.AblationPNS)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"rotation", "naive", "lbsweep", "ksweep", "pns", "churn", "mapping"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "lmsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package landmarkdht is a reproduction of "A Landmark-based Index
+// Architecture for General Similarity Search in Peer-to-Peer Networks"
+// (Yang & Hu, IPDPS 2007): a distributed similarity-search index built
+// on top of a Chord overlay.
+//
+// Any dataset with a black-box metric distance function can be
+// indexed: objects are embedded into a k-dimensional index space by
+// their distances to k pre-selected landmark objects, the index space
+// is partitioned onto the ring with a locality-preserving k-d hash,
+// and near-neighbor queries become multidimensional range queries
+// resolved by a recursive split-and-refine routing algorithm that
+// reuses the trees embedded in the DHT links. Static (per-index
+// rotation) and dynamic (load migration) balancing keep nodes evenly
+// loaded, and several independent index schemes — over different data
+// types — can share one overlay with no extra routing state.
+//
+// The overlay is simulated: a deterministic discrete-event engine
+// drives packet-level message exchange over a King-style latency
+// model, which is how the paper evaluates the system. The public API
+// wraps that simulation as a library:
+//
+//	p, _ := landmarkdht.New(landmarkdht.Options{Nodes: 256, Seed: 1})
+//	ix, _ := landmarkdht.AddIndex(p, landmarkdht.EuclideanSpace("vecs", dim, 0, 100),
+//	        data, landmarkdht.DenseMean, landmarkdht.IndexOptions{})
+//	matches, stats, _ := ix.RangeSearch(query, 25)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper's evaluation.
+package landmarkdht

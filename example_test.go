@@ -1,0 +1,149 @@
+package landmarkdht_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"landmarkdht"
+)
+
+// clusteredVectors builds a small deterministic dataset for the
+// examples.
+func clusteredVectors(n int) []landmarkdht.Vector {
+	rng := rand.New(rand.NewSource(5))
+	centers := []landmarkdht.Vector{{10, 10, 10, 10}, {60, 60, 60, 60}, {10, 60, 10, 60}}
+	out := make([]landmarkdht.Vector, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		v := make(landmarkdht.Vector, 4)
+		for j := range v {
+			v[j] = c[j] + rng.NormFloat64()*2
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Example shows the minimal end-to-end flow: build a simulated
+// overlay, deploy an index, search.
+func Example() {
+	p, err := landmarkdht.New(landmarkdht.Options{Nodes: 32, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := clusteredVectors(500)
+	ix, err := landmarkdht.AddIndex(p,
+		landmarkdht.EuclideanSpace("example", 4, 0, 80),
+		data, landmarkdht.DenseMean,
+		landmarkdht.IndexOptions{Landmarks: 3, SampleSize: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, _, err := ix.RangeSearch(data[0], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("self-search matches:", len(matches) >= 1)
+	fmt.Println("nearest is itself:", matches[0].ID == 0 && matches[0].Distance == 0)
+	// Output:
+	// self-search matches: true
+	// nearest is itself: true
+}
+
+// ExampleIndex_NearestK finds exact nearest neighbors by iterative
+// range expansion.
+func ExampleIndex_NearestK() {
+	p, _ := landmarkdht.New(landmarkdht.Options{Nodes: 32, Seed: 2})
+	data := clusteredVectors(800)
+	ix, err := landmarkdht.AddIndex(p,
+		landmarkdht.EuclideanSpace("knn-example", 4, 0, 80),
+		data, landmarkdht.DenseMean,
+		landmarkdht.IndexOptions{Landmarks: 3, SampleSize: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nn, _, err := ix.NearestK(data[42], 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("neighbors found:", len(nn))
+	fmt.Println("closest is the query object:", nn[0].ID == 42)
+	fmt.Println("distances ascend:", nn[0].Distance <= nn[1].Distance && nn[1].Distance <= nn[2].Distance)
+	// Output:
+	// neighbors found: 3
+	// closest is the query object: true
+	// distances ascend: true
+}
+
+// ExampleAddIndex_editDistance indexes strings under edit distance —
+// a metric space with no coordinates, selected with the greedy
+// max-min method (the paper's Algorithm 1).
+func ExampleAddIndex_editDistance() {
+	p, _ := landmarkdht.New(landmarkdht.Options{Nodes: 16, Seed: 3})
+	words := []string{
+		"monkey", "donkey", "monket", "mankey",
+		"banana", "bandana", "cabana",
+		"orange", "grange", "orangy",
+	}
+	ix, err := landmarkdht.AddIndex(p, landmarkdht.EditSpace("words", 16), words, nil,
+		landmarkdht.IndexOptions{Landmarks: 2, SampleSize: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, _, err := ix.RangeSearch("monkey", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("%s (%.0f edits)\n", m.Object, m.Distance)
+	}
+	// Output:
+	// monkey (0 edits)
+	// donkey (1 edits)
+	// monket (1 edits)
+	// mankey (1 edits)
+}
+
+// ExamplePlatform_EnableLoadBalancing demonstrates §3.4 dynamic load
+// migration flattening a skewed deployment.
+func ExamplePlatform_EnableLoadBalancing() {
+	p, _ := landmarkdht.New(landmarkdht.Options{Nodes: 24, Seed: 4})
+	data := clusteredVectors(2000)
+	_, err := landmarkdht.AddIndex(p,
+		landmarkdht.EuclideanSpace("lb-example", 4, 0, 80),
+		data, landmarkdht.DenseMean,
+		landmarkdht.IndexOptions{Landmarks: 3, SampleSize: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := p.Loads()[0]
+	if err := p.EnableLoadBalancing(landmarkdht.LBConfig{
+		Delta: 0, ProbeLevel: 4, Period: 2 * time.Second,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	p.Run(2 * time.Minute)
+	after := p.Loads()[0]
+	migrations, _ := p.Migrations()
+	fmt.Println("max load dropped:", after < before/2)
+	fmt.Println("migrations happened:", migrations > 0)
+	// Output:
+	// max load dropped: true
+	// migrations happened: true
+}
+
+// ExampleRocchio expands a short keyword query with pseudo-relevance
+// feedback (the paper's §6 automatic query expansion).
+func ExampleRocchio() {
+	q, _ := landmarkdht.NewSparseVector([]uint32{1, 2}, []float64{1, 1})
+	doc, _ := landmarkdht.NewSparseVector([]uint32{2, 3, 4}, []float64{2, 2, 2})
+	expand := landmarkdht.Rocchio(1.0, 0.5)
+	expanded := expand(q, []landmarkdht.SparseVector{doc})
+	fmt.Println("query terms before:", q.NNZ())
+	fmt.Println("query terms after:", expanded.NNZ())
+	// Output:
+	// query terms before: 2
+	// query terms after: 4
+}

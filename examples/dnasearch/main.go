@@ -1,0 +1,114 @@
+// Dnasearch: similar-sequence search in a distributed genetics
+// database under edit distance (§2 example 1 of the paper).
+//
+// The metric space of strings has no coordinates and no centroids —
+// exactly the "black box distance" setting the architecture targets.
+// Landmarks are selected with the greedy max-min method directly from
+// the sequence sample.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"landmarkdht"
+)
+
+const (
+	families = 6
+	seqLen   = 80
+	nSeqs    = 2000
+)
+
+var alphabet = []byte("ACGT")
+
+func mutate(rng *rand.Rand, s string, rate float64) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		if rng.Float64() >= rate {
+			out = append(out, s[i])
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			out = append(out, alphabet[rng.Intn(4)]) // substitution
+		case 1:
+			out = append(out, alphabet[rng.Intn(4)], s[i]) // insertion
+		case 2: // deletion
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, alphabet[rng.Intn(4)])
+	}
+	return string(out)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+
+	// Ancestral sequences and mutated descendants.
+	ancestors := make([]string, families)
+	for i := range ancestors {
+		b := make([]byte, seqLen)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(4)]
+		}
+		ancestors[i] = string(b)
+	}
+	seqs := make([]string, nSeqs)
+	family := make([]int, nSeqs)
+	for i := range seqs {
+		f := rng.Intn(families)
+		family[i] = f
+		seqs[i] = mutate(rng, ancestors[f], 0.04)
+	}
+
+	p, err := landmarkdht.New(landmarkdht.Options{Nodes: 64, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := landmarkdht.AddIndex(p,
+		landmarkdht.EditSpace("genebank", seqLen*2), seqs, nil,
+		landmarkdht.IndexOptions{
+			Landmarks:  6,
+			Selection:  landmarkdht.GreedySelection, // Algorithm 1
+			SampleSize: 400,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d sequences from %d families on %d nodes\n",
+		ix.Len(), families, p.Nodes())
+	fmt.Println("landmark sequences (greedy max-min):")
+	for i, l := range ix.Landmarks() {
+		fmt.Printf("  L%d %s...\n", i, l[:24])
+	}
+
+	// Query: a freshly mutated probe must find its relatives.
+	for trial := 0; trial < 3; trial++ {
+		f := rng.Intn(families)
+		probe := mutate(rng, ancestors[f], 0.03)
+		matches, stats, err := ix.RangeSearch(probe, 14)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sameFamily := 0
+		for _, m := range matches {
+			if family[m.ID] == f {
+				sameFamily++
+			}
+		}
+		fmt.Printf("\nprobe from family %d: %d sequences within 14 edits (%d same family)\n",
+			f, len(matches), sameFamily)
+		fmt.Printf("  hops=%d  candidates=%d  response=%v\n",
+			stats.Hops, stats.Candidates, stats.ResponseTime)
+		for i, m := range matches {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  #%d seq %4d family %d  edit distance %.0f\n",
+				i+1, m.ID, family[m.ID], m.Distance)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Faulttolerance: successor-list replication keeps similarity search
+// exact through simultaneous node crashes, and query tracing shows the
+// distributed execution before and after the failures.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"landmarkdht"
+)
+
+func main() {
+	p, err := landmarkdht.New(landmarkdht.Options{Nodes: 64, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A clustered dataset.
+	rng := rand.New(rand.NewSource(7))
+	data := make([]landmarkdht.Vector, 4000)
+	for i := range data {
+		base := float64(rng.Intn(4)) * 25
+		v := make(landmarkdht.Vector, 10)
+		for j := range v {
+			v[j] = base + rng.NormFloat64()*3
+		}
+		data[i] = v
+	}
+	ix, err := landmarkdht.AddIndex(p,
+		landmarkdht.EuclideanSpace("resilient", 10, -20, 120),
+		data, landmarkdht.DenseMean,
+		landmarkdht.IndexOptions{Landmarks: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replicate every entry onto the 2 successors of its primary node.
+	if err := ix.Replicate(3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors on %d nodes, 3-way replicated\n", ix.Len(), p.Nodes())
+
+	q := data[0]
+	baseline, _, trace, err := ix.RangeSearchTraced(q, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbefore crashes: %d matches; query touched %d nodes, %d answer steps, depth %d\n",
+		len(baseline), len(trace.Nodes()), trace.Count("answer"), trace.MaxDepth())
+
+	// Kill 8 of 64 nodes at once. No recovery step runs: the replicas
+	// on the successors answer in the dead primaries' place.
+	crashed := p.Crash(8)
+	fmt.Printf("\ncrashed %d nodes (%d remain)\n", crashed, p.Nodes())
+
+	after, stats, trace2, err := ix.RangeSearchTraced(q, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crashes: %d matches (recall %d/%d), %d nodes answered in %v\n",
+		len(after), len(after), len(baseline), stats.IndexNodes, stats.MaxLatency)
+
+	if len(after) == len(baseline) {
+		fmt.Println("\nno results lost: the first replica of every key became its new successor")
+	} else {
+		fmt.Printf("\nlost %d results (replication factor exceeded by correlated failures)\n",
+			len(baseline)-len(after))
+	}
+	fmt.Println("\nexecution trace of the post-crash query (first 6 steps):")
+	for i, e := range trace2.Events {
+		if i >= 6 {
+			break
+		}
+		fmt.Println(" ", e)
+	}
+}

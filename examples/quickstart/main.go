@@ -1,0 +1,92 @@
+// Quickstart: index clustered vectors on a simulated 128-node overlay
+// and run range and nearest-neighbor searches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"landmarkdht"
+)
+
+func main() {
+	// A simulated 128-node Chord overlay with King-like latencies.
+	p, err := landmarkdht.New(landmarkdht.Options{Nodes: 128, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A toy dataset: 5,000 points in 16 dimensions, four clusters.
+	rng := rand.New(rand.NewSource(7))
+	centers := make([]landmarkdht.Vector, 4)
+	for i := range centers {
+		c := make(landmarkdht.Vector, 16)
+		for j := range c {
+			c[j] = rng.Float64() * 100
+		}
+		centers[i] = c
+	}
+	data := make([]landmarkdht.Vector, 5000)
+	for i := range data {
+		c := centers[rng.Intn(len(centers))]
+		v := make(landmarkdht.Vector, 16)
+		for j := range v {
+			v[j] = c[j] + rng.NormFloat64()*4
+		}
+		data[i] = v
+	}
+
+	// Deploy a landmark index: k-means selects 8 landmark points, the
+	// index space is partitioned onto the ring, and every object is
+	// placed on its responsible node.
+	ix, err := landmarkdht.AddIndex(p,
+		landmarkdht.EuclideanSpace("quickstart", 16, -50, 150),
+		data, landmarkdht.DenseMean,
+		landmarkdht.IndexOptions{Landmarks: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors on %d nodes with %d landmarks\n",
+		ix.Len(), p.Nodes(), len(ix.Landmarks()))
+
+	// Exact range search: everything within distance 10 of a query.
+	q := data[0]
+	matches, stats, err := ix.RangeSearch(q, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrange search (r=10): %d matches\n", len(matches))
+	fmt.Printf("  hops=%d  response=%v  max-latency=%v\n",
+		stats.Hops, stats.ResponseTime, stats.MaxLatency)
+	fmt.Printf("  query: %d msgs / %d bytes;  results: %d msgs / %d bytes\n",
+		stats.QueryMessages, stats.QueryBytes, stats.ResultMessages, stats.ResultBytes)
+
+	// Exact 5 nearest neighbors via iterative range expansion.
+	nn, _, err := ix.NearestK(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n5 nearest neighbors:")
+	for _, m := range nn {
+		fmt.Printf("  object %4d at distance %.3f\n", m.ID, m.Distance)
+	}
+
+	// Insert a new object through the overlay and find it again.
+	novel := make(landmarkdht.Vector, 16)
+	for j := range novel {
+		novel[j] = 120
+	}
+	id, err := ix.Insert(novel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, _, err := ix.RangeSearch(novel, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninserted object %d; self-search found %d match(es)\n", id, len(got))
+
+	tr := p.Traffic()
+	fmt.Printf("\ntotal overlay traffic: %d messages, %d bytes\n", tr.Messages, tr.Bytes)
+}

@@ -1,0 +1,114 @@
+package landmarkdht
+
+import (
+	"fmt"
+
+	"landmarkdht/internal/metric"
+)
+
+// Expander enriches a query object using relevance feedback: the
+// objects retrieved by an initial search round. This implements the
+// paper's §6 future work #2 (automatic query expansion) as
+// pseudo-relevance feedback.
+type Expander[T any] func(q T, feedback []T) T
+
+// Rocchio returns the classic Rocchio expander for term vectors:
+// q' = α·q + β·centroid(feedback). With TF/IDF document vectors this
+// pulls a short keyword query toward the vocabulary of its top-ranked
+// documents, the standard recall/precision booster in centralized IR
+// that the paper proposes to port to the distributed index.
+func Rocchio(alpha, beta float64) Expander[SparseVector] {
+	return func(q SparseVector, feedback []SparseVector) SparseVector {
+		if len(feedback) == 0 {
+			return q
+		}
+		centroid := SparseMean(feedback)
+		acc := make(map[uint32]float64, q.NNZ()+centroid.NNZ())
+		for i, idx := range q.Idx {
+			acc[idx] += alpha * q.Val[i]
+		}
+		for i, idx := range centroid.Idx {
+			acc[idx] += beta * centroid.Val[i]
+		}
+		outIdx := make([]uint32, 0, len(acc))
+		outVal := make([]float64, 0, len(acc))
+		for idx, v := range acc {
+			if v > 0 {
+				outIdx = append(outIdx, idx)
+				outVal = append(outVal, v)
+			}
+		}
+		sv, err := metric.NewSparseVector(outIdx, outVal)
+		if err != nil {
+			return q // unreachable: weights are positive
+		}
+		return sv
+	}
+}
+
+// SearchWithExpansion performs a two-round search with automatic query
+// expansion: a first NearestSearch retrieves feedbackN candidates, the
+// expander folds them into the query, and a second search runs with
+// the expanded query. Results of both rounds are merged by object id
+// (keeping each object's best distance **to the original query**) and
+// the top k are returned. Stats aggregate both rounds.
+func (ix *Index[T]) SearchWithExpansion(q T, k int, r float64, expand Expander[T], feedbackN int) ([]Match[T], SearchStats, error) {
+	if expand == nil {
+		return nil, SearchStats{}, fmt.Errorf("landmarkdht: nil expander")
+	}
+	if k <= 0 || feedbackN <= 0 {
+		return nil, SearchStats{}, fmt.Errorf("landmarkdht: k and feedbackN must be positive")
+	}
+	first, stats, err := ix.NearestSearch(q, feedbackN, r)
+	if err != nil {
+		return nil, stats, err
+	}
+	feedback := make([]T, len(first))
+	for i, m := range first {
+		feedback[i] = m.Object
+	}
+	expanded := expand(q, feedback)
+	second, stats2, err := ix.NearestSearch(expanded, k, r)
+	aggAdd(&stats, stats2)
+	if err != nil {
+		return nil, stats, err
+	}
+	// Merge by id; distances are re-ranked against the ORIGINAL query
+	// (expansion is only for retrieval, not for scoring).
+	best := make(map[int]Match[T], len(first)+len(second))
+	consider := func(m Match[T]) {
+		d := ix.emb.Distance(q, m.Object)
+		if prev, ok := best[m.ID]; !ok || d < prev.Distance {
+			best[m.ID] = Match[T]{ID: m.ID, Object: m.Object, Distance: d}
+		}
+	}
+	for _, m := range first {
+		consider(m)
+	}
+	for _, m := range second {
+		consider(m)
+	}
+	out := make([]Match[T], 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, stats, nil
+}
+
+func sortMatches[T any](ms []Match[T]) {
+	// Insertion sort: result sets are small (k-sized).
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0; j-- {
+			if ms[j].Distance < ms[j-1].Distance ||
+				(ms[j].Distance == ms[j-1].Distance && ms[j].ID < ms[j-1].ID) {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
+			} else {
+				break
+			}
+		}
+	}
+}

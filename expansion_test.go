@@ -1,0 +1,154 @@
+package landmarkdht
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// topicalCorpus builds documents grouped into topics with distinct
+// vocabulary blocks, plus short keyword queries.
+func topicalCorpus(rng *rand.Rand, docs, topics int) (corpus []SparseVector, topicOf []int) {
+	const blockSize = 300
+	for d := 0; d < docs; d++ {
+		topic := rng.Intn(topics)
+		n := 30 + rng.Intn(50)
+		idx := make([]uint32, 0, n)
+		val := make([]float64, 0, n)
+		seen := map[uint32]bool{}
+		for len(idx) < n {
+			var term uint32
+			if rng.Float64() < 0.7 {
+				term = uint32(topic*blockSize + rng.Intn(blockSize))
+			} else {
+				term = uint32(topics*blockSize + rng.Intn(5000))
+			}
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			idx = append(idx, term)
+			val = append(val, 1+rng.Float64()*2)
+		}
+		sv, err := NewSparseVector(idx, val)
+		if err != nil {
+			panic(err)
+		}
+		corpus = append(corpus, sv)
+		topicOf = append(topicOf, topic)
+	}
+	return corpus, topicOf
+}
+
+func shortQuery(rng *rand.Rand, topic int) SparseVector {
+	const blockSize = 300
+	idx := []uint32{
+		uint32(topic*blockSize + rng.Intn(blockSize)),
+		uint32(topic*blockSize + rng.Intn(blockSize)),
+		uint32(topic*blockSize + rng.Intn(blockSize)),
+	}
+	sv, err := NewSparseVector(idx, []float64{1, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	return sv
+}
+
+func TestRocchioExpander(t *testing.T) {
+	q, _ := NewSparseVector([]uint32{1, 2}, []float64{1, 1})
+	f1, _ := NewSparseVector([]uint32{2, 3}, []float64{2, 4})
+	f2, _ := NewSparseVector([]uint32{3, 4}, []float64{2, 2})
+	ex := Rocchio(1, 0.5)
+	got := ex(q, []SparseVector{f1, f2})
+	// Expected terms: 1 (from q), 2 (q + feedback), 3, 4 (feedback).
+	if got.NNZ() != 4 {
+		t.Fatalf("expanded nnz = %d, want 4", got.NNZ())
+	}
+	weights := map[uint32]float64{}
+	for i, idx := range got.Idx {
+		weights[idx] = got.Val[i]
+	}
+	if weights[1] != 1 {
+		t.Fatalf("term 1 = %v", weights[1])
+	}
+	if weights[2] != 1+0.5*1 { // centroid term 2 = (2+0)/2 = 1
+		t.Fatalf("term 2 = %v", weights[2])
+	}
+	if weights[3] != 0.5*3 { // centroid term 3 = (4+2)/2 = 3
+		t.Fatalf("term 3 = %v", weights[3])
+	}
+	// Empty feedback: unchanged.
+	same := ex(q, nil)
+	if same.NNZ() != q.NNZ() {
+		t.Fatal("empty feedback should not change the query")
+	}
+}
+
+func TestSearchWithExpansionImprovesRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	corpus, topicOf := topicalCorpus(rng, 2500, 8)
+	p, err := New(Options{Nodes: 48, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := AddIndex(p, CosineSpace("exp-docs"), corpus, SparseMean,
+		IndexOptions{Landmarks: 6, SampleSize: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, r = 10, 0.45
+	var plainHits, expandedHits int
+	for trial := 0; trial < 6; trial++ {
+		topic := rng.Intn(8)
+		q := shortQuery(rng, topic)
+		plain, _, err := ix.NearestSearch(q, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expanded, _, err := ix.SearchWithExpansion(q, k, r, Rocchio(1, 0.75), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range plain {
+			if topicOf[m.ID] == topic {
+				plainHits++
+			}
+		}
+		for _, m := range expanded {
+			if topicOf[m.ID] == topic {
+				expandedHits++
+			}
+		}
+		if len(expanded) > k {
+			t.Fatalf("expansion returned %d > k", len(expanded))
+		}
+		for i := 1; i < len(expanded); i++ {
+			if expanded[i].Distance < expanded[i-1].Distance {
+				t.Fatal("expanded results not sorted")
+			}
+		}
+	}
+	// Expansion must not hurt topical precision (it usually helps).
+	if expandedHits < plainHits {
+		t.Fatalf("expansion reduced on-topic hits: %d -> %d", plainHits, expandedHits)
+	}
+}
+
+func TestSearchWithExpansionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	corpus, _ := topicalCorpus(rng, 100, 2)
+	p, _ := New(Options{Nodes: 8, Seed: 1})
+	ix, err := AddIndex(p, CosineSpace("v-docs"), corpus, SparseMean,
+		IndexOptions{Landmarks: 2, SampleSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.SearchWithExpansion(corpus[0], 0, 1, Rocchio(1, 1), 3); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, _, err := ix.SearchWithExpansion(corpus[0], 3, 1, nil, 3); err == nil {
+		t.Fatal("expected nil-expander error")
+	}
+	if _, _, err := ix.SearchWithExpansion(corpus[0], 3, 1, Rocchio(1, 1), 0); err == nil {
+		t.Fatal("expected feedbackN error")
+	}
+}

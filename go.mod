@@ -1,0 +1,3 @@
+module landmarkdht
+
+go 1.23

@@ -1,0 +1,442 @@
+package chord
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/sim"
+)
+
+func newTestNet(t *testing.T, n int, cfg Config) (*sim.Engine, *Network, []*Node) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	model, err := netmodel.NewSyntheticKing(netmodel.KingConfig{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(eng, model, cfg)
+	rng := rand.New(rand.NewSource(2))
+	nodes := make([]*Node, 0, n)
+	used := map[ID]bool{}
+	for i := 0; i < n; i++ {
+		id := ID(rng.Uint64())
+		for used[id] {
+			id = ID(rng.Uint64())
+		}
+		used[id] = true
+		nd, err := net.AddNode(id, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	return eng, net, nodes
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	if !InOpen(10, 20, 30) || InOpen(10, 10, 30) || InOpen(10, 30, 30) {
+		t.Fatal("InOpen basic")
+	}
+	// Wrapped interval.
+	if !InOpen(^ID(0)-5, 2, 10) {
+		t.Fatal("InOpen wrap")
+	}
+	if !InOpenClosed(10, 30, 30) || InOpenClosed(10, 10, 30) {
+		t.Fatal("InOpenClosed basic")
+	}
+	// Degenerate a == b: whole ring.
+	if !InOpenClosed(7, 3, 7) || !InOpenClosed(7, 7, 7) {
+		t.Fatal("InOpenClosed degenerate")
+	}
+	if InOpen(7, 7, 7) || !InOpen(7, 8, 7) {
+		t.Fatal("InOpen degenerate")
+	}
+	if Dist(10, 3) != ^ID(0)-6 {
+		t.Fatal("Dist wrap")
+	}
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	_, net, nodes := newTestNet(t, 10, DefaultConfig())
+	if net.Size() != 10 {
+		t.Fatalf("size = %d", net.Size())
+	}
+	if _, err := net.AddNode(nodes[0].ID(), 0); err == nil {
+		t.Fatal("expected duplicate-id error")
+	}
+	if _, err := net.AddNode(12345, 99999); err == nil {
+		t.Fatal("expected host-range error")
+	}
+	if err := net.RemoveNode(nodes[3].ID()); err != nil {
+		t.Fatal(err)
+	}
+	if net.Size() != 9 {
+		t.Fatalf("size after remove = %d", net.Size())
+	}
+	if err := net.RemoveNode(nodes[3].ID()); err == nil {
+		t.Fatal("expected error removing twice")
+	}
+	if nodes[3].Alive() {
+		t.Fatal("removed node still alive")
+	}
+}
+
+func TestOracleSuccessor(t *testing.T) {
+	_, net, _ := newTestNet(t, 50, DefaultConfig())
+	ids := append([]ID(nil), net.ring...)
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Fatal("ring not sorted")
+	}
+	// Exact hit.
+	got, err := net.SuccessorID(ids[7])
+	if err != nil || got != ids[7] {
+		t.Fatalf("successor(exact) = %#x, err=%v", got, err)
+	}
+	// Between two ids.
+	if ids[8]-ids[7] > 1 {
+		got, _ = net.SuccessorID(ids[7] + 1)
+		if got != ids[8] {
+			t.Fatalf("successor(mid) = %#x, want %#x", got, ids[8])
+		}
+	}
+	// Wraparound past the largest id.
+	got, _ = net.SuccessorID(ids[len(ids)-1] + 1)
+	if got != ids[0] {
+		t.Fatalf("successor(wrap) = %#x, want %#x", got, ids[0])
+	}
+}
+
+func TestBuildTablesInvariants(t *testing.T) {
+	_, net, nodes := newTestNet(t, 64, DefaultConfig())
+	net.BuildAllTables()
+	ids := append([]ID(nil), net.ring...)
+	for _, nd := range nodes {
+		self := sort.Search(len(ids), func(i int) bool { return ids[i] >= nd.ID() })
+		wantSucc := ids[(self+1)%len(ids)]
+		if nd.Successor() != wantSucc {
+			t.Fatalf("node %#x successor = %#x, want %#x", nd.ID(), nd.Successor(), wantSucc)
+		}
+		pred, ok := nd.Predecessor()
+		if !ok || pred != ids[(self-1+len(ids))%len(ids)] {
+			t.Fatalf("node %#x predecessor wrong", nd.ID())
+		}
+		if got := len(nd.SuccessorList()); got != 16 {
+			t.Fatalf("successor list len = %d", got)
+		}
+		// Fingers must lie in (or be the successor of) their interval.
+		for i := 0; i < 64; i++ {
+			start := nd.ID() + 1<<uint(i)
+			f := nd.Finger(i)
+			oracle, _ := net.SuccessorID(start)
+			if !net.cfg.PNS {
+				if f != oracle {
+					t.Fatalf("finger %d = %#x, want %#x", i, f, oracle)
+				}
+				continue
+			}
+			// With PNS the finger must still be a live node at-or-after
+			// start but before start+2^i... it can also be the plain
+			// successor when the interval is empty.
+			if f != oracle && !InOpenClosed(start-1, f, start+1<<uint(i)-1) {
+				t.Fatalf("PNS finger %d = %#x outside interval (oracle %#x)", i, f, oracle)
+			}
+		}
+	}
+}
+
+func TestOwnsKey(t *testing.T) {
+	_, net, _ := newTestNet(t, 16, DefaultConfig())
+	net.BuildAllTables()
+	// Every key must be owned by exactly its oracle successor.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		key := ID(rng.Uint64())
+		owner, _ := net.SuccessorNode(key)
+		count := 0
+		for _, nd := range net.Nodes() {
+			if nd.OwnsKey(key) {
+				count++
+				if nd.ID() != owner.ID() {
+					t.Fatalf("key %#x claimed by %#x, oracle owner %#x", key, nd.ID(), owner.ID())
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("key %#x owned by %d nodes", key, count)
+		}
+	}
+}
+
+func TestNextHopMakesProgress(t *testing.T) {
+	_, net, nodes := newTestNet(t, 64, DefaultConfig())
+	net.BuildAllTables()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		key := ID(rng.Uint64())
+		nd := nodes[rng.Intn(len(nodes))]
+		hop := nd.NextHop(key)
+		if hop == nd.ID() {
+			// Terminal: successor must own the key.
+			succ := net.Node(nd.Successor())
+			if !succ.OwnsKey(key) && !nd.OwnsKey(key) {
+				t.Fatalf("NextHop=self but successor %#x does not own key %#x", succ.ID(), key)
+			}
+			continue
+		}
+		// Progress: hop must be strictly closer (preceding) to key.
+		if Dist(hop, key) >= Dist(nd.ID(), key) {
+			t.Fatalf("no progress: me=%#x hop=%#x key=%#x", nd.ID(), hop, key)
+		}
+		if hop == key {
+			t.Fatal("NextHop returned the key's own node (successor, not predecessor)")
+		}
+	}
+}
+
+func TestFindSuccessorMatchesOracle(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 64, DefaultConfig())
+	net.BuildAllTables()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		key := ID(rng.Uint64())
+		src := nodes[rng.Intn(len(nodes))]
+		want, _ := net.SuccessorID(key)
+		var got ID
+		var hops int
+		done := false
+		src.FindSuccessor(key, 40, func(owner ID, h int) {
+			got, hops, done = owner, h, true
+		})
+		eng.Run()
+		if !done {
+			t.Fatal("lookup did not complete")
+		}
+		if got != want {
+			t.Fatalf("lookup(%#x) = %#x, want %#x", key, got, want)
+		}
+		if hops > 20 {
+			t.Fatalf("lookup took %d hops in a 64-node network", hops)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 256, DefaultConfig())
+	net.BuildAllTables()
+	rng := rand.New(rand.NewSource(6))
+	var total int
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		key := ID(rng.Uint64())
+		src := nodes[rng.Intn(len(nodes))]
+		src.FindSuccessor(key, 40, func(_ ID, h int) { total += h })
+		eng.Run()
+	}
+	avg := float64(total) / trials
+	// log2(256) = 8; with fingers + 16 successors expect ~4-5.
+	if avg > 8 {
+		t.Fatalf("average hops = %.2f, want <= 8", avg)
+	}
+	if avg < 0.5 {
+		t.Fatalf("average hops = %.2f suspiciously low", avg)
+	}
+}
+
+func TestPNSReducesLatency(t *testing.T) {
+	run := func(pns bool) time.Duration {
+		cfg := DefaultConfig()
+		cfg.PNS = pns
+		eng, net, nodes := newTestNet(t, 128, cfg)
+		net.BuildAllTables()
+		rng := rand.New(rand.NewSource(7))
+		var total time.Duration
+		const trials = 200
+		for trial := 0; trial < trials; trial++ {
+			key := ID(rng.Uint64())
+			src := nodes[rng.Intn(len(nodes))]
+			start := eng.Now()
+			src.FindSuccessor(key, 40, func(_ ID, _ int) {
+				total += eng.Now() - start
+			})
+			eng.Run()
+		}
+		return total / trials
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("PNS did not reduce mean lookup latency: with=%v without=%v", with, without)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 16, DefaultConfig())
+	net.BuildAllTables()
+	nodes[0].FindSuccessor(nodes[8].ID()+1, 100, func(ID, int) {})
+	eng.Run()
+	tr := net.Traffic()
+	msgs, bytes := tr.Total()
+	if msgs == 0 && nodes[0].NextHop(nodes[8].ID()+1) != nodes[0].ID() {
+		t.Fatal("no traffic recorded for multi-hop lookup")
+	}
+	if bytes != msgs*100 {
+		t.Fatalf("bytes = %d, msgs = %d (want 100 bytes each)", bytes, msgs)
+	}
+	net.ResetTraffic()
+	tr = net.Traffic()
+	if m, b := tr.Total(); m != 0 || b != 0 {
+		t.Fatal("ResetTraffic did not zero counters")
+	}
+}
+
+func TestSendToDeadNodeDropped(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 8, DefaultConfig())
+	net.BuildAllTables()
+	delivered := false
+	target := nodes[5].ID()
+	net.Send(nodes[0], target, KindQuery, 10, func(*Node) { delivered = true })
+	// Kill the target while the message is in flight.
+	if err := net.RemoveNode(target); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if delivered {
+		t.Fatal("message delivered to dead node")
+	}
+}
+
+func TestRejoinMovesNode(t *testing.T) {
+	_, net, nodes := newTestNet(t, 16, DefaultConfig())
+	net.BuildAllTables()
+	old := nodes[3]
+	host := old.Host()
+	var newID ID = 0x1234567890ABCDEF
+	if net.Node(newID) != nil {
+		t.Skip("collision in test ids")
+	}
+	fresh, err := net.Rejoin(old.ID(), newID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Host() != host {
+		t.Fatal("rejoin changed physical host")
+	}
+	if net.Node(old.ID()) != nil {
+		t.Fatal("old id still present")
+	}
+	if net.Size() != 16 {
+		t.Fatalf("size = %d", net.Size())
+	}
+	net.RefreshNeighborhood()
+	owner, _ := net.SuccessorNode(newID)
+	if owner.ID() != newID {
+		t.Fatal("new node does not own its own id")
+	}
+	if _, err := net.Rejoin(99, 100); err == nil {
+		t.Fatal("expected error rejoining unknown node")
+	}
+	if _, err := net.Rejoin(newID, nodes[5].ID()); err == nil {
+		t.Fatal("expected error rejoining onto taken id")
+	}
+}
+
+func TestProtocolJoinConverges(t *testing.T) {
+	eng := sim.NewEngine(1)
+	model, _ := netmodel.NewSyntheticKing(netmodel.KingConfig{N: 32, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.StabilizeEvery = 500 * time.Millisecond
+	net := NewNetwork(eng, model, cfg)
+	rng := rand.New(rand.NewSource(9))
+
+	// Bootstrap node.
+	first, err := net.AddNode(ID(rng.Uint64()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.JoinVia(first.ID(), nil)
+	// Other nodes join at random times over 10 seconds.
+	for i := 1; i < 32; i++ {
+		nd, err := net.AddNode(ID(rng.Uint64()), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := time.Duration(rng.Int63n(int64(10 * time.Second)))
+		eng.Schedule(at, func() { nd.JoinVia(first.ID(), nil) })
+	}
+	// Let the system stabilize, then quiesce the maintenance timers so
+	// the event queue can drain during the lookup phase.
+	eng.RunUntil(5 * time.Minute)
+	for _, nd := range net.Nodes() {
+		nd.StopMaintenance()
+	}
+
+	// Every node's successor must now match the oracle ring.
+	ids := append([]ID(nil), net.ring...)
+	for _, nd := range net.Nodes() {
+		self := sort.Search(len(ids), func(i int) bool { return ids[i] >= nd.ID() })
+		want := ids[(self+1)%len(ids)]
+		if nd.Successor() != want {
+			t.Fatalf("node %#x successor = %#x, want %#x (protocol did not converge)",
+				nd.ID(), nd.Successor(), want)
+		}
+		pred, ok := nd.Predecessor()
+		wantPred := ids[(self-1+len(ids))%len(ids)]
+		if !ok || pred != wantPred {
+			t.Fatalf("node %#x predecessor = %#x, want %#x", nd.ID(), pred, wantPred)
+		}
+	}
+	// Lookups must be correct in the converged network.
+	for trial := 0; trial < 50; trial++ {
+		key := ID(rng.Uint64())
+		src := net.Nodes()[rng.Intn(net.Size())]
+		want, _ := net.SuccessorID(key)
+		var got ID
+		src.FindSuccessor(key, 40, func(owner ID, _ int) { got = owner })
+		eng.Run()
+		if got != want {
+			t.Fatalf("post-convergence lookup(%#x) = %#x, want %#x", key, got, want)
+		}
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	kinds := []MsgKind{KindMaintenance, KindLookup, KindQuery, KindResult, KindTransfer, MsgKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestNodesInRingOrder(t *testing.T) {
+	_, net, _ := newTestNet(t, 20, DefaultConfig())
+	prev := ID(0)
+	for i, nd := range net.Nodes() {
+		if i > 0 && nd.ID() <= prev {
+			t.Fatal("Nodes() not in ring order")
+		}
+		prev = nd.ID()
+	}
+}
+
+func BenchmarkLookup1024(b *testing.B) {
+	eng := sim.NewEngine(1)
+	model, _ := netmodel.NewSyntheticKing(netmodel.KingConfig{N: 1024, Seed: 1})
+	net := NewNetwork(eng, model, DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1024; i++ {
+		if _, err := net.AddNode(ID(rng.Uint64()), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.BuildAllTables()
+	nodes := net.Nodes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nodes[i%1024].FindSuccessor(ID(rng.Uint64()), 40, func(ID, int) {})
+		eng.Run()
+	}
+}

@@ -1,0 +1,145 @@
+package chord
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/sim"
+)
+
+// Crashing nodes without any table refresh must not break lookups:
+// NextHop skips dead entries and the successor lists provide the
+// last-mile redundancy (the reason Chord keeps 16 successors).
+func TestLookupSurvivesCrashesWithoutRefresh(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 128, DefaultConfig())
+	net.BuildAllTables()
+	rng := rand.New(rand.NewSource(31))
+	// Crash 10% of the nodes, no FixAround, no rebuild.
+	for i := 0; i < 12; i++ {
+		victim := nodes[rng.Intn(len(nodes))]
+		if !victim.Alive() {
+			continue
+		}
+		if err := net.CrashNode(victim.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		key := ID(rng.Uint64())
+		var src *Node
+		for src == nil || !src.Alive() {
+			src = nodes[rng.Intn(len(nodes))]
+		}
+		want, err := net.SuccessorID(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ID
+		completed := false
+		src.FindSuccessor(key, 40, func(owner ID, _ int) { got, completed = owner, true })
+		eng.Run()
+		if !completed {
+			t.Fatal("lookup hung after crashes")
+		}
+		if got != want {
+			t.Fatalf("lookup(%#x) = %#x, want %#x after crashes", key, got, want)
+		}
+	}
+}
+
+// With more crashes than the successor-list length in one region,
+// FixAround restores correctness.
+func TestFixAroundRepairsRegion(t *testing.T) {
+	_, net, _ := newTestNet(t, 64, DefaultConfig())
+	net.BuildAllTables()
+	// Kill 8 consecutive ring nodes (a correlated regional failure).
+	ring := append([]ID(nil), net.ring...)
+	for i := 10; i < 18; i++ {
+		if err := net.CrashNode(ring[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.FixAround(ring[10])
+	net.FixAround(ring[17])
+	// Ownership of the dead region must have passed to the next
+	// survivor.
+	owner, err := net.SuccessorNode(ring[12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !owner.Alive() {
+		t.Fatal("owner not alive")
+	}
+	if !owner.OwnsKey(ring[12]) {
+		t.Fatal("survivor does not own the dead region after FixAround")
+	}
+}
+
+// Protocol-mode maintenance must repair successor/predecessor pointers
+// after crashes, with no oracle help.
+func TestProtocolRepairsAfterCrash(t *testing.T) {
+	eng := sim.NewEngine(1)
+	model, _ := netmodel.NewSyntheticKing(netmodel.KingConfig{N: 48, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.StabilizeEvery = 500 * time.Millisecond
+	net := NewNetwork(eng, model, cfg)
+	rng := rand.New(rand.NewSource(7))
+
+	var first *Node
+	for i := 0; i < 48; i++ {
+		nd, err := net.AddNode(ID(rng.Uint64()), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = nd
+			nd.JoinVia(nd.ID(), nil)
+			continue
+		}
+		joiner := nd
+		_ = joiner
+		eng.Schedule(time.Duration(rng.Int63n(int64(5*time.Second))), func() {
+			joiner.JoinVia(first.ID(), nil)
+		})
+	}
+	eng.RunUntil(3 * time.Minute)
+
+	// Crash a third of the network.
+	live := net.Nodes()
+	for i := 0; i < 16; i++ {
+		victim := live[rng.Intn(len(live))]
+		if victim.Alive() && victim != first {
+			_ = net.CrashNode(victim.ID())
+		}
+	}
+	// Let stabilization repair.
+	eng.RunUntil(eng.Now() + 5*time.Minute)
+	for _, nd := range net.Nodes() {
+		nd.StopMaintenance()
+	}
+
+	ids := append([]ID(nil), net.ring...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, nd := range net.Nodes() {
+		self := sort.Search(len(ids), func(i int) bool { return ids[i] >= nd.ID() })
+		want := ids[(self+1)%len(ids)]
+		if nd.Successor() != want {
+			t.Fatalf("node %#x successor = %#x, want %#x (repair failed)", nd.ID(), nd.Successor(), want)
+		}
+	}
+	// Lookups correct post-repair.
+	for trial := 0; trial < 30; trial++ {
+		key := ID(rng.Uint64())
+		src := net.Nodes()[rng.Intn(net.Size())]
+		want, _ := net.SuccessorID(key)
+		var got ID
+		src.FindSuccessor(key, 40, func(owner ID, _ int) { got = owner })
+		eng.Run()
+		if got != want {
+			t.Fatalf("post-repair lookup(%#x) = %#x, want %#x", key, got, want)
+		}
+	}
+}

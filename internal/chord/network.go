@@ -1,0 +1,398 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/sim"
+)
+
+// MsgKind classifies simulated messages for cost accounting. The paper
+// reports query-delivery and result-delivery bandwidth separately and
+// notes that DHT maintenance can be piggybacked onto query traffic.
+type MsgKind int
+
+const (
+	// KindMaintenance covers stabilize / notify / fix-finger traffic.
+	KindMaintenance MsgKind = iota
+	// KindLookup covers find-successor traffic (index publication).
+	KindLookup
+	// KindQuery covers range-query delivery messages.
+	KindQuery
+	// KindResult covers result-delivery messages.
+	KindResult
+	// KindTransfer covers load-migration index transfers.
+	KindTransfer
+	numKinds
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case KindMaintenance:
+		return "maintenance"
+	case KindLookup:
+		return "lookup"
+	case KindQuery:
+		return "query"
+	case KindResult:
+		return "result"
+	case KindTransfer:
+		return "transfer"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Traffic accumulates per-kind message and byte counts.
+type Traffic struct {
+	Msgs  [numKinds]int64
+	Bytes [numKinds]int64
+}
+
+// Add records one message of the given kind and size.
+func (t *Traffic) Add(kind MsgKind, bytes int) {
+	t.Msgs[kind]++
+	t.Bytes[kind] += int64(bytes)
+}
+
+// Total returns the sum over all kinds.
+func (t *Traffic) Total() (msgs, bytes int64) {
+	for k := 0; k < int(numKinds); k++ {
+		msgs += t.Msgs[k]
+		bytes += t.Bytes[k]
+	}
+	return
+}
+
+// Config parameterizes the overlay. The defaults match the paper's
+// simulation setup: base-2 fingers, 16 successors, PNS enabled.
+type Config struct {
+	// NumSuccessors is the successor-list length (paper: 16).
+	NumSuccessors int
+	// PNS enables proximity neighbor selection for fingers.
+	PNS bool
+	// PNSSample is the number of ring-order candidates examined per
+	// finger when PNS is on (Chord-PNS(16)).
+	PNSSample int
+	// StabilizeEvery enables message-driven maintenance with the given
+	// period when positive; zero relies on the oracle fast path.
+	StabilizeEvery time.Duration
+	// MaintenanceBytes is the nominal size of one maintenance message.
+	MaintenanceBytes int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{NumSuccessors: 16, PNS: true, PNSSample: 16, MaintenanceBytes: 40}
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumSuccessors <= 0 {
+		c.NumSuccessors = 16
+	}
+	if c.PNSSample <= 0 {
+		c.PNSSample = 16
+	}
+	if c.MaintenanceBytes <= 0 {
+		c.MaintenanceBytes = 40
+	}
+}
+
+// Network is the simulated overlay: the set of live nodes, the latency
+// model, and traffic accounting. It is driven by a sim.Engine and is
+// not safe for concurrent use (each trial owns one engine and one
+// network).
+type Network struct {
+	eng     *sim.Engine
+	model   netmodel.Model
+	cfg     Config
+	nodes   map[ID]*Node
+	ring    []ID // sorted live IDs (oracle view)
+	traffic Traffic
+}
+
+// NewNetwork creates an empty overlay over the given engine and
+// latency model.
+func NewNetwork(eng *sim.Engine, model netmodel.Model, cfg Config) *Network {
+	cfg.fillDefaults()
+	return &Network{eng: eng, model: model, cfg: cfg, nodes: make(map[ID]*Node)}
+}
+
+// Engine returns the driving simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Config returns the overlay configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Traffic returns a snapshot of the accumulated traffic counters.
+func (n *Network) Traffic() Traffic { return n.traffic }
+
+// ResetTraffic zeroes the traffic counters (used to exclude setup
+// traffic from measurement windows).
+func (n *Network) ResetTraffic() { n.traffic = Traffic{} }
+
+// RecordTraffic accounts application-level traffic that does not go
+// through Send (e.g. piggybacked load probes, bulk transfers).
+func (n *Network) RecordTraffic(kind MsgKind, bytes int) { n.traffic.Add(kind, bytes) }
+
+// Size returns the number of live nodes.
+func (n *Network) Size() int { return len(n.ring) }
+
+// Nodes returns the live nodes in ring order.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, len(n.ring))
+	for i, id := range n.ring {
+		out[i] = n.nodes[id]
+	}
+	return out
+}
+
+// Node returns the live node with the given identifier, or nil.
+func (n *Network) Node(id ID) *Node {
+	return n.nodes[id]
+}
+
+// AddNode inserts a node with the given identifier and latency-model
+// host index into the oracle ring. Its routing tables are empty until
+// BuildTables / BuildAllTables or protocol maintenance fills them.
+func (n *Network) AddNode(id ID, host int) (*Node, error) {
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("chord: duplicate node id %#x", id)
+	}
+	if host < 0 || host >= n.model.Size() {
+		return nil, fmt.Errorf("chord: host index %d outside latency model of size %d", host, n.model.Size())
+	}
+	node := &Node{net: n, id: id, host: host, alive: true}
+	n.nodes[id] = node
+	i := sort.Search(len(n.ring), func(i int) bool { return n.ring[i] >= id })
+	n.ring = append(n.ring, 0)
+	copy(n.ring[i+1:], n.ring[i:])
+	n.ring[i] = id
+	return node, nil
+}
+
+// RemoveNode deletes a node from the overlay (a graceful leave at the
+// chord layer; the application is responsible for data handoff).
+func (n *Network) RemoveNode(id ID) error {
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("chord: remove of unknown node %#x", id)
+	}
+	node.alive = false
+	node.stopMaintenance()
+	delete(n.nodes, id)
+	i := sort.Search(len(n.ring), func(i int) bool { return n.ring[i] >= id })
+	if i < len(n.ring) && n.ring[i] == id {
+		n.ring = append(n.ring[:i], n.ring[i+1:]...)
+	}
+	return nil
+}
+
+// CrashNode removes a node abruptly: unlike a graceful leave, in-
+// flight messages to it are lost and no application handoff happens.
+// At the chord layer the effect is identical to RemoveNode; the
+// distinction matters to the application, which loses the node's
+// entries until re-publication. Routing state of other nodes is NOT
+// refreshed — stale fingers and successor entries are skipped by
+// liveness checks and repaired by stabilization or FixAround.
+func (n *Network) CrashNode(id ID) error {
+	return n.RemoveNode(id)
+}
+
+// SuccessorID returns the oracle successor of key: the live node whose
+// identifier is equal to or immediately follows key on the ring.
+func (n *Network) SuccessorID(key ID) (ID, error) {
+	if len(n.ring) == 0 {
+		return 0, fmt.Errorf("chord: empty ring")
+	}
+	i := sort.Search(len(n.ring), func(i int) bool { return n.ring[i] >= key })
+	if i == len(n.ring) {
+		i = 0
+	}
+	return n.ring[i], nil
+}
+
+// SuccessorNode returns the oracle successor node of key.
+func (n *Network) SuccessorNode(key ID) (*Node, error) {
+	id, err := n.SuccessorID(key)
+	if err != nil {
+		return nil, err
+	}
+	return n.nodes[id], nil
+}
+
+// successorIndex returns the ring index of the successor of key.
+func (n *Network) successorIndex(key ID) int {
+	i := sort.Search(len(n.ring), func(i int) bool { return n.ring[i] >= key })
+	if i == len(n.ring) {
+		i = 0
+	}
+	return i
+}
+
+// Latency returns the one-way delay between two nodes.
+func (n *Network) Latency(a, b *Node) time.Duration {
+	return n.model.Latency(a.host, b.host)
+}
+
+// Send simulates a message from node `from` to the node currently
+// identified by `to`: it accounts the bytes, waits the one-way
+// latency, and then runs deliver if the destination is still alive.
+// deliver receives the destination node.
+func (n *Network) Send(from *Node, to ID, kind MsgKind, bytes int, deliver func(dst *Node)) {
+	n.SendOrFail(from, to, kind, bytes, deliver, nil)
+}
+
+// SendOrFail is Send with an explicit loss callback: failed runs (at
+// send time or at the would-be delivery time) when the destination is
+// unknown or departs while the message is in flight.
+func (n *Network) SendOrFail(from *Node, to ID, kind MsgKind, bytes int, deliver func(dst *Node), failed func()) {
+	n.traffic.Add(kind, bytes)
+	dst, ok := n.nodes[to]
+	if !ok {
+		// Destination unknown at send time: the message is charged and
+		// lost.
+		if failed != nil {
+			failed()
+		}
+		return
+	}
+	delay := n.model.Latency(from.host, dst.host)
+	n.eng.Schedule(delay, func() {
+		cur, ok := n.nodes[to]
+		if !ok || !cur.alive {
+			if failed != nil {
+				failed()
+			}
+			return // destination departed in flight
+		}
+		deliver(cur)
+	})
+}
+
+// FixAround rebuilds oracle routing state in the neighborhood of ring
+// position pos: the node covering pos, its NumSuccessors predecessors
+// (whose successor lists reference the region) and its immediate
+// successor. Distant stale fingers remain; NextHop skips dead entries,
+// so routing stays correct while a periodic full refresh (or protocol
+// fix-fingers) restores optimality — exactly Chord's behavior under
+// churn.
+func (n *Network) FixAround(pos ID) {
+	if len(n.ring) == 0 {
+		return
+	}
+	ln := len(n.ring)
+	idx := n.successorIndex(pos)
+	span := n.cfg.NumSuccessors + 2
+	if span > ln {
+		span = ln
+	}
+	for i := 0; i < span; i++ {
+		n.BuildTables(n.nodes[n.ring[(idx-i+ln*2)%ln]])
+	}
+	n.BuildTables(n.nodes[n.ring[(idx+1)%ln]])
+}
+
+// BuildAllTables installs oracle-stabilized routing state on every
+// node: correct successor lists, predecessors, and fingers (PNS-aware
+// when enabled). This models a network that has fully stabilized, the
+// state the paper measures queries in.
+func (n *Network) BuildAllTables() {
+	for _, id := range n.ring {
+		n.BuildTables(n.nodes[id])
+	}
+}
+
+// BuildTables installs oracle-stabilized state on one node.
+func (n *Network) BuildTables(node *Node) {
+	r := n.ring
+	ln := len(r)
+	if ln == 0 {
+		return
+	}
+	self := sort.Search(ln, func(i int) bool { return r[i] >= node.id })
+	if self == ln || r[self] != node.id {
+		return // not on the ring
+	}
+	// Predecessor.
+	node.pred = r[(self-1+ln)%ln]
+	node.hasPred = true
+	// Successor list.
+	ns := n.cfg.NumSuccessors
+	if ns > ln-1 {
+		ns = ln - 1
+	}
+	node.succ = node.succ[:0]
+	for i := 1; i <= ns; i++ {
+		node.succ = append(node.succ, r[(self+i)%ln])
+	}
+	if len(node.succ) == 0 {
+		node.succ = append(node.succ, node.id) // single-node ring
+	}
+	// Fingers: finger i targets id + 2^i, interval [id+2^i, id+2^(i+1)).
+	for i := 0; i < 64; i++ {
+		start := node.id + 1<<uint(i)
+		node.fingers[i] = n.pickFinger(node, start, start+1<<uint(i))
+	}
+	node.tablesBuilt = true
+}
+
+// pickFinger returns the finger for interval [start, end): without PNS
+// the successor of start; with PNS the lowest-latency node among the
+// first PNSSample ring-order candidates inside the interval.
+func (n *Network) pickFinger(node *Node, start, end ID) ID {
+	idx := n.successorIndex(start)
+	first := n.ring[idx]
+	if !n.cfg.PNS {
+		return first
+	}
+	best := first
+	if !InOpenClosed(start-1, first, end-1) {
+		// Interval is empty of nodes: plain successor.
+		return first
+	}
+	bestLat := n.model.Latency(node.host, n.nodes[first].host)
+	ln := len(n.ring)
+	for c := 1; c < n.cfg.PNSSample && c < ln; c++ {
+		cand := n.ring[(idx+c)%ln]
+		if !InOpenClosed(start-1, cand, end-1) {
+			break
+		}
+		if lat := n.model.Latency(node.host, n.nodes[cand].host); lat < bestLat {
+			best, bestLat = cand, lat
+		}
+	}
+	return best
+}
+
+// Rejoin gracefully moves a node to a new identifier (used by the
+// §3.4 dynamic load migration: "ask it to leave and then rejoin the
+// system with a given node identifier"). The node keeps its physical
+// host. Routing state of the affected neighborhood is refreshed via
+// the oracle. It returns the new node.
+func (n *Network) Rejoin(oldID, newID ID) (*Node, error) {
+	old, ok := n.nodes[oldID]
+	if !ok {
+		return nil, fmt.Errorf("chord: rejoin of unknown node %#x", oldID)
+	}
+	if _, dup := n.nodes[newID]; dup {
+		return nil, fmt.Errorf("chord: rejoin target id %#x already taken", newID)
+	}
+	host := old.host
+	if err := n.RemoveNode(oldID); err != nil {
+		return nil, err
+	}
+	fresh, err := n.AddNode(newID, host)
+	if err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// RefreshNeighborhood rebuilds oracle tables for every live node —
+// cheap at simulation scale and equivalent to the network having
+// re-stabilized after membership churn.
+func (n *Network) RefreshNeighborhood() { n.BuildAllTables() }

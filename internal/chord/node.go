@@ -1,0 +1,145 @@
+package chord
+
+import (
+	"fmt"
+
+	"landmarkdht/internal/sim"
+)
+
+// Node is one overlay participant.
+type Node struct {
+	net  *Network
+	id   ID
+	host int
+
+	alive       bool
+	tablesBuilt bool
+	pred        ID
+	hasPred     bool
+	succ        []ID
+	fingers     [64]ID
+
+	ticker *sim.Ticker
+}
+
+// ID returns the node's ring identifier.
+func (nd *Node) ID() ID { return nd.id }
+
+// Host returns the node's index in the latency model.
+func (nd *Node) Host() int { return nd.host }
+
+// Alive reports whether the node is still part of the overlay.
+func (nd *Node) Alive() bool { return nd.alive }
+
+// Network returns the overlay the node belongs to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// Successor returns the node's first live successor (itself on a
+// single-node ring).
+func (nd *Node) Successor() ID {
+	for _, s := range nd.succ {
+		if _, ok := nd.net.nodes[s]; ok {
+			return s
+		}
+	}
+	return nd.id
+}
+
+// SuccessorList returns a copy of the successor list.
+func (nd *Node) SuccessorList() []ID { return append([]ID(nil), nd.succ...) }
+
+// Predecessor returns the predecessor and whether it is known.
+func (nd *Node) Predecessor() (ID, bool) { return nd.pred, nd.hasPred }
+
+// Finger returns finger i (the node believed to succeed id + 2^i).
+func (nd *Node) Finger(i int) ID { return nd.fingers[i] }
+
+// OwnsKey reports whether this node is responsible for key, i.e.
+// key ∈ (predecessor, id]. With no known predecessor the node claims
+// everything (single-node ring).
+func (nd *Node) OwnsKey(key ID) bool {
+	if !nd.hasPred || nd.pred == nd.id {
+		return true
+	}
+	return InOpenClosed(nd.pred, key, nd.id)
+}
+
+// NextHop implements the paper's footnote 4: the routing-table entry
+// (fingers ∪ successor list ∪ self) whose identifier is immediately
+// before key on the ring. It returns the node's own id when no table
+// entry improves on it — the caller then hands the query to the
+// successor for surrogate refinement.
+func (nd *Node) NextHop(key ID) ID {
+	best := nd.id
+	bestDist := Dist(nd.id, key) // clockwise distance remaining after hop
+	consider := func(c ID) {
+		if c == key {
+			return // that node *is* the successor, not the predecessor
+		}
+		if _, live := nd.net.nodes[c]; !live {
+			return
+		}
+		if d := Dist(c, key); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	for _, s := range nd.succ {
+		consider(s)
+	}
+	for _, f := range nd.fingers {
+		if f != 0 || nd.net.Node(0) != nil {
+			consider(f)
+		}
+	}
+	return best
+}
+
+// String describes the node.
+func (nd *Node) String() string {
+	return fmt.Sprintf("chord.Node(%#x)", nd.id)
+}
+
+// StopMaintenance halts the node's protocol maintenance timer. Used
+// when a measurement phase wants a quiescent network.
+func (nd *Node) StopMaintenance() { nd.stopMaintenance() }
+
+// stopMaintenance halts the protocol timer if running.
+func (nd *Node) stopMaintenance() {
+	if nd.ticker != nil {
+		nd.ticker.Stop()
+		nd.ticker = nil
+	}
+}
+
+// FindSuccessor resolves successor(key) with the iterative Chord
+// lookup over simulated messages: at most one round trip per hop, each
+// hop chosen by NextHop at the queried node. done receives the
+// successor's identifier and the number of hops taken.
+func (nd *Node) FindSuccessor(key ID, bytes int, done func(owner ID, hops int)) {
+	nd.findStep(nd, key, bytes, 0, done)
+}
+
+const maxLookupHops = 128
+
+func (nd *Node) findStep(cur *Node, key ID, bytes, hops int, done func(ID, int)) {
+	// If key ∈ (cur, successor(cur)], the successor owns it.
+	succ := cur.Successor()
+	if succ == cur.id || InOpenClosed(cur.id, key, succ) {
+		done(succ, hops)
+		return
+	}
+	next := cur.NextHop(key)
+	if next == cur.id {
+		// No table entry improves: the successor is the best guess.
+		done(succ, hops)
+		return
+	}
+	if hops >= maxLookupHops {
+		done(succ, hops)
+		return
+	}
+	// One message to the next hop; the continuation runs there.
+	nd.net.Send(cur, next, KindLookup, bytes, func(dst *Node) {
+		nd.findStep(dst, key, bytes, hops+1, done)
+	})
+}

@@ -1,0 +1,153 @@
+// Package core implements the paper's primary contribution: the
+// distributed landmark-based index layer on top of Chord. It wires
+// together the locality-preserving hash (internal/lph), the query
+// geometry (internal/query) and the overlay (internal/chord) into a
+// system of index nodes that
+//
+//   - store index entries for one or more index schemes (§3.2),
+//   - resolve range queries with the embedded-tree routing algorithms
+//     QueryRouting / QuerySplit / SurrogateRefine (§3.3, Algorithms
+//     3–5), and
+//   - balance load with space-mapping rotation and dynamic load
+//     migration (§3.4).
+package core
+
+import (
+	"fmt"
+
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/sim"
+)
+
+// ObjectID references a data object in the application's object store.
+// The index layer never inspects objects; exact distances are obtained
+// through the Index's Dist callback.
+type ObjectID int32
+
+// Entry is one index entry: the object and its index-space point (the
+// vector of distances to the landmarks).
+type Entry struct {
+	Obj   ObjectID
+	Point []float64
+}
+
+// Index describes one index scheme deployed on the platform. Multiple
+// Index values with distinct names can share a single overlay — the
+// architecture's headline feature.
+type Index struct {
+	// Name identifies the scheme (and determines its rotation offset
+	// if its partitioner was built with rotation).
+	Name string
+	// Part is the locality-preserving hash over this scheme's index
+	// space, including the rotation offset.
+	Part *lph.Partitioner
+	// Dist returns the true metric distance between a query payload
+	// and a stored object, for the exact refinement step. It must be
+	// safe to call from any node.
+	Dist func(payload any, obj ObjectID) float64
+	// MaxDist bounds distances for wire encoding (required when the
+	// system runs with Config.EncodeWire; result distances are
+	// quantized against it).
+	MaxDist float64
+}
+
+func (ix *Index) validate() error {
+	if ix == nil {
+		return fmt.Errorf("core: nil index")
+	}
+	if ix.Name == "" {
+		return fmt.Errorf("core: index with empty name")
+	}
+	if ix.Part == nil {
+		return fmt.Errorf("core: index %q has no partitioner", ix.Name)
+	}
+	if ix.Dist == nil {
+		return fmt.Errorf("core: index %q has no distance callback", ix.Name)
+	}
+	return nil
+}
+
+// Result is one query answer: an object and its exact distance to the
+// query point.
+type Result struct {
+	Obj  ObjectID
+	Dist float64
+}
+
+// QueryStats aggregates the paper's §4.1 cost metrics for one query.
+type QueryStats struct {
+	// Hops is the maximum path length required to deliver the query
+	// to all of the corresponding index nodes.
+	Hops int
+	// Issued is when the query entered the system.
+	Issued sim.Time
+	// FirstResult is when the first result message arrived (response
+	// time = FirstResult - Issued).
+	FirstResult sim.Time
+	// LastResult is when the final result message arrived (maximum
+	// latency = LastResult - Issued).
+	LastResult sim.Time
+	// QueryMsgs / QueryBytes cover query-delivery traffic.
+	QueryMsgs  int
+	QueryBytes int64
+	// ResultMsgs / ResultBytes cover result-delivery traffic.
+	ResultMsgs  int
+	ResultBytes int64
+	// IndexNodes is the number of distinct nodes that answered.
+	IndexNodes int
+	// Candidates is the number of index entries that matched the
+	// query cube before exact refinement.
+	Candidates int
+}
+
+// ResponseTime returns FirstResult - Issued.
+func (qs *QueryStats) ResponseTime() sim.Time { return qs.FirstResult - qs.Issued }
+
+// MaxLatency returns LastResult - Issued.
+func (qs *QueryStats) MaxLatency() sim.Time { return qs.LastResult - qs.Issued }
+
+// QueryResult is the completed answer to a range query.
+type QueryResult struct {
+	// Results are deduplicated and sorted by ascending distance. For
+	// top-k queries the list is truncated to k.
+	Results []Result
+	Stats   QueryStats
+	// Trace is the execution record when QueryOpts.Trace was set.
+	Trace *Trace
+}
+
+// MessageModel is the paper's §4.1 byte accounting: a query message
+// carrying n subqueries over a k-landmark index costs
+// Header + n·(4k + PerSubquery); a result message costs ResultHeader +
+// PerEntry·entries.
+type MessageModel struct {
+	QueryHeader  int // packet header + source IP (paper: 20 + 4)
+	PerSubquery  int // prefix key + prefix length (paper: 8 + 1)
+	ResultHeader int // packet header (paper: 20)
+	PerEntry     int // per index entry in a result (paper: 6)
+	PerTransfer  int // per entry moved during load migration
+}
+
+// DefaultMessageModel returns the paper's message size model.
+func DefaultMessageModel() MessageModel {
+	return MessageModel{QueryHeader: 24, PerSubquery: 9, ResultHeader: 20, PerEntry: 6, PerTransfer: 14}
+}
+
+// QueryMsgBytes returns the size of a query message carrying n
+// subqueries in a k-dimensional index space: each subquery carries its
+// k range pairs at 2 bytes per bound (2·2·k) plus prefix metadata.
+func (m MessageModel) QueryMsgBytes(n, k int) int {
+	return m.QueryHeader + n*(4*k+m.PerSubquery)
+}
+
+// ResultMsgBytes returns the size of a result message with the given
+// number of entries.
+func (m MessageModel) ResultMsgBytes(entries int) int {
+	return m.ResultHeader + m.PerEntry*entries
+}
+
+// TransferBytes returns the size of a migration transfer of the given
+// number of entries.
+func (m MessageModel) TransferBytes(entries int) int {
+	return m.PerTransfer * entries
+}

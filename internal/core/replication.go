@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"landmarkdht/internal/chord"
+	"landmarkdht/internal/lph"
+)
+
+// Replication places each index entry on the key's successor AND the
+// next R−1 nodes of its successor list — the standard Chord soft-state
+// robustness technique (Stoica et al. §V.B, "replicate data associated
+// with a key at the k nodes succeeding the key").
+//
+// The query path needs no changes: routing always delivers a subquery
+// to the current successor of its region, and when the primary crashes
+// the first replica IS the new successor, so its copy of the entries
+// answers immediately — no republication delay. The querier already
+// deduplicates results by object id, so overlapping replica answers
+// are harmless.
+//
+// Replication interacts with dynamic load migration (splitting a
+// node's range would have to re-shard every replica chain), so a
+// System rejects enabling both; pick robustness or migration per
+// deployment. Replicated entries count toward the paper's load measure
+// on every holder.
+
+// ReplicateAll re-places every currently stored primary entry onto the
+// next replicas-1 successors of its key. Call after bulk loading (or
+// again after membership changes to repair replica sets). replicas
+// counts total copies including the primary.
+func (s *System) ReplicateAll(indexName string, replicas int) error {
+	if _, err := s.lookupIndex(indexName); err != nil {
+		return err
+	}
+	if replicas < 2 {
+		return fmt.Errorf("core: replication needs at least 2 copies, got %d", replicas)
+	}
+	if s.lb != nil {
+		return fmt.Errorf("core: replication and dynamic load migration cannot be combined")
+	}
+	if replicas > s.cfg.Chord.NumSuccessors {
+		return fmt.Errorf("core: %d replicas exceed the successor-list length %d",
+			replicas, s.cfg.Chord.NumSuccessors)
+	}
+	// Snapshot primaries first: only entries whose key this node owns
+	// are primaries; earlier replicas must not cascade.
+	type placement struct {
+		node *IndexNode
+		key  lph.Key
+		e    Entry
+	}
+	var extra []placement
+	for _, in := range s.Nodes() {
+		st, ok := in.stores[indexName]
+		if !ok {
+			continue
+		}
+		for i, key := range st.keys {
+			if !in.node.OwnsKey(key) {
+				continue // already a replica copy
+			}
+			succs := in.node.SuccessorList()
+			placed := map[chord.ID]bool{in.ID(): true}
+			for _, succ := range succs {
+				if len(placed) >= replicas {
+					break
+				}
+				if placed[succ] {
+					continue
+				}
+				placed[succ] = true
+				if rn := s.nodes[succ]; rn != nil {
+					extra = append(extra, placement{rn, key, st.entries[i]})
+				}
+			}
+		}
+	}
+	for _, p := range extra {
+		p.node.store(indexName).add(p.key, p.e)
+		s.chargeTransfer(1)
+	}
+	return nil
+}
+
+// EnableLoadBalancing is extended to refuse replicated deployments —
+// see the guard in loadbal.go (replication check happens there via
+// hasReplicas).
+//
+// hasReplicas reports whether any node stores an entry whose key it
+// does not own (i.e. a replica copy).
+func (s *System) hasReplicas() bool {
+	for _, in := range s.nodes {
+		for _, st := range in.stores {
+			for _, key := range st.keys {
+				if !in.node.OwnsKey(key) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

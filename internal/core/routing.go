@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"landmarkdht/internal/chord"
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/query"
+	"landmarkdht/internal/wire"
+)
+
+// activeQuery tracks one in-flight range query across the system.
+type activeQuery struct {
+	id      int
+	ix      *Index
+	payload any
+	r       float64
+	topK    int
+	srcID   chord.ID
+	stats   QueryStats
+	// pending counts subqueries whose results have not yet reached
+	// the querier; the query completes when it hits zero.
+	pending  int
+	results  map[ObjectID]float64
+	answered map[chord.ID]bool
+	done     func(*QueryResult)
+	finished bool
+	gotFirst bool
+	trace    *Trace
+}
+
+// QueryOpts tunes one query.
+type QueryOpts struct {
+	// TopK, when positive, makes every index node return its TopK
+	// nearest candidates (the paper's recall protocol with k = 10) and
+	// the final result the merged TopK. When zero the query is an
+	// exact range query: results are candidates with distance <= r.
+	TopK int
+	// Trace records the query's distributed execution (routing steps,
+	// splits, refinements, local answers) in QueryResult.Trace.
+	Trace bool
+}
+
+// RangeQuery issues the near-neighbor query (payload, r) on index
+// indexName from the node srcID. center must be the query's index-
+// space point (the embedding of payload); the system converts it into
+// the hypercube range query of §3.1 and resolves it with the
+// embedded-tree routing of §3.3. done fires when all index-node
+// results have arrived.
+//
+// The call only schedules work; drive the sim.Engine to completion.
+func (s *System) RangeQuery(indexName string, srcID chord.ID, payload any, center []float64, r float64, opts QueryOpts, done func(*QueryResult)) error {
+	ix, err := s.lookupIndex(indexName)
+	if err != nil {
+		return err
+	}
+	src, ok := s.nodes[srcID]
+	if !ok {
+		return fmt.Errorf("core: unknown source node %#x", srcID)
+	}
+	if len(center) != ix.Part.K() {
+		return fmt.Errorf("core: query center has %d coordinates, want %d", len(center), ix.Part.K())
+	}
+	if r < 0 {
+		return fmt.Errorf("core: negative query range %v", r)
+	}
+	region, err := queryRegion(ix, center, r)
+	if err != nil {
+		return err
+	}
+	s.nextQ++
+	aq := &activeQuery{
+		id:       s.nextQ,
+		ix:       ix,
+		payload:  payload,
+		r:        r,
+		topK:     opts.TopK,
+		srcID:    srcID,
+		pending:  1,
+		results:  make(map[ObjectID]float64),
+		answered: make(map[chord.ID]bool),
+		done:     done,
+	}
+	if opts.Trace {
+		aq.trace = &Trace{}
+	}
+	aq.stats.Issued = s.eng.Now()
+	s.routeAt(src, aq, region, 0)
+	return nil
+}
+
+// queryRegion converts a query center and range into the index-space
+// hypercube region. The cube is widened by a relative epsilon: the
+// contractive-mapping guarantee |d(x,l_i) - d(q,l_i)| <= d(x,q) holds
+// exactly in real arithmetic but can be violated by one ulp in floats,
+// and the exact-distance refinement removes any false positives the
+// widening admits.
+func queryRegion(ix *Index, center []float64, r float64) (query.Region, error) {
+	cube := make([]lph.Bounds, len(center))
+	for j, c := range center {
+		b := ix.Part.Bounds(j)
+		eps := 1e-9 * (1 + math.Abs(c) + r)
+		cube[j] = lph.Bounds{Lo: b.Clamp(c - r - eps), Hi: b.Clamp(c + r + eps)}
+	}
+	return query.New(ix.Part, cube)
+}
+
+// routeAt is Algorithm 3 (QueryRouting) executing at node n with the
+// query q at hop depth hops.
+func (s *System) routeAt(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
+	if hops > s.cfg.MaxHops {
+		aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceDrop,
+			PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
+		s.dropSubquery(aq)
+		return
+	}
+	aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceRoute,
+		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
+	var list []query.Region
+	if q.PreLen == lph.M {
+		list = []query.Region{q}
+	} else {
+		subs := query.Split(s.ix(aq).Part, q, q.PreLen+1)
+		if len(subs) == 1 {
+			// The query lies in one half: forward the refined query
+			// (equivalent to forwarding q; the prefix is just longer).
+			list = subs
+		} else {
+			n1 := n.node.NextHop(s.ring(aq, subs[0].PreKey))
+			n2 := n.node.NextHop(s.ring(aq, subs[1].PreKey))
+			if n1 == n2 {
+				// Both halves share the next hop: ship the whole query
+				// onward as one unit (lowest-common-ancestor routing).
+				list = []query.Region{q}
+			} else {
+				aq.pending++ // one region became two
+				list = subs
+			}
+		}
+	}
+	s.dispatch(n, aq, list, hops)
+}
+
+// dispatch groups subqueries by destination and ships each group as a
+// single query message (the byte model charges per subquery).
+func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, hops int) {
+	type destKey struct {
+		id        chord.ID
+		surrogate bool
+	}
+	groups := make(map[destKey][]query.Region)
+	var order []destKey // deterministic dispatch order
+	for _, sq := range list {
+		rk := s.ring(aq, sq.PreKey)
+		if n.node.OwnsKey(rk) {
+			// This node is itself the surrogate for the subquery.
+			s.surrogateRefine(n, aq, sq, hops)
+			continue
+		}
+		nh := n.node.NextHop(rk)
+		var d destKey
+		if nh == n.node.ID() {
+			// We are the predecessor of the prefix key: the successor
+			// is the surrogate (Algorithm 3 line 17).
+			d = destKey{id: n.node.Successor(), surrogate: true}
+		} else {
+			d = destKey{id: nh, surrogate: false}
+		}
+		if _, seen := groups[d]; !seen {
+			order = append(order, d)
+		}
+		groups[d] = append(groups[d], sq)
+	}
+	for _, d := range order {
+		sqs := groups[d]
+		var bytes int
+		var payload []byte
+		if s.cfg.EncodeWire {
+			// Real binary encoding: the receiver works on the decoded
+			// (quantization-widened) cubes.
+			data, err := wire.EncodeQuery(aq.ix.Part, wire.QueryMessage{
+				Source:     uint32(aq.srcID),
+				Subqueries: sqs,
+			})
+			if err != nil {
+				for range sqs {
+					s.dropSubquery(aq)
+				}
+				continue
+			}
+			payload, bytes = data, len(data)
+		} else {
+			bytes = s.cfg.Msg.QueryMsgBytes(len(sqs), aq.ix.Part.K())
+		}
+		aq.stats.QueryMsgs++
+		aq.stats.QueryBytes += int64(bytes)
+		for _, sq := range sqs {
+			aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceForward,
+				PreKey: sq.PreKey, PreLen: sq.PreLen, Hops: hops, Dest: d.id})
+		}
+		d := d
+		s.net.SendOrFail(n.node, d.id, chord.KindQuery, bytes, func(dst *chord.Node) {
+			in := s.nodes[dst.ID()]
+			use := sqs
+			if payload != nil {
+				decoded, err := wire.DecodeQuery(aq.ix.Part, payload)
+				if err != nil {
+					for range sqs {
+						s.dropSubquery(aq)
+					}
+					return
+				}
+				use = decoded.Subqueries
+			}
+			for _, sq := range use {
+				if d.surrogate {
+					s.surrogateRefine(in, aq, sq, hops+1)
+				} else {
+					s.routeAt(in, aq, sq, hops+1)
+				}
+			}
+		}, func() {
+			for range sqs {
+				s.dropSubquery(aq)
+			}
+		})
+	}
+}
+
+// surrogateRefine is Algorithm 5 executing at node n: the node routes
+// onward the parts of the query region whose keys lie beyond the key
+// range it covers, and answers the remainder from its local store.
+//
+// The decomposition is the closed form of the paper's recursion: with
+// vid the node's identifier in the index's unrotated key space, the
+// keys of the query cuboid above vid are exactly the union, over every
+// zero-bit position z of vid past the prefix, of the sibling cuboid
+// obtained by setting bit z (Algorithm 5 lines 5–18 walk these
+// positions one at a time). Each sibling is clipped to the query cube
+// and re-enters QueryRouting; everything else is covered by this node.
+// Unlike the paper's pseudocode — which retags the query to
+// prefix(vid, j-1) and thereby drops the cube's extent inside the
+// *lower* sibling cuboids it also covers — the local answer scans the
+// full incoming cube. Entries are partitioned across nodes by key, so
+// the wider local scan cannot duplicate results from other nodes.
+func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
+	if hops > s.cfg.MaxHops {
+		aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceDrop,
+			PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
+		s.dropSubquery(aq)
+		return
+	}
+	aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceRefine,
+		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
+	part := aq.ix.Part
+	vid := part.Unring(n.node.ID()) // node id in this index's unrotated key space
+	if lph.SamePrefix(q.PreKey, vid, q.PreLen) {
+		// The node sits inside the query cuboid: keys above vid belong
+		// to other nodes. Route each maximal sub-cuboid above vid.
+		for z := lph.FirstZeroBitAfter(vid, q.PreLen); z != 0; z = lph.FirstZeroBitAfter(vid, z) {
+			upper := lph.SetBit(lph.Prefix(vid, z-1), z)
+			if sub, ok := query.Restrict(part, q, upper, z); ok {
+				aq.pending++
+				s.routeAt(n, aq, sub, hops)
+			}
+		}
+	}
+	// When the prefixes differ, successor(prekey) lies beyond the
+	// cuboid, so no node exists inside it and this node covers the
+	// whole region (Algorithm 5 lines 1–3). Either way, answer the
+	// covered part locally.
+	s.answerLocal(n, aq, q, hops)
+}
+
+// answerLocal resolves one subquery against the node's local store and
+// ships the result back to the querier.
+func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
+	if hops > aq.stats.Hops {
+		aq.stats.Hops = hops
+	}
+	st := n.store(aq.ix.Name)
+	cands := st.scan(q)
+	aq.stats.Candidates += len(cands)
+	var local []Result
+	for _, e := range cands {
+		d := aq.ix.Dist(aq.payload, e.Obj)
+		if aq.topK == 0 && d > aq.r {
+			continue // exact range semantics
+		}
+		local = append(local, Result{Obj: e.Obj, Dist: d})
+	}
+	if aq.topK > 0 && len(local) > aq.topK {
+		// The paper's protocol: each index node returns its k nearest
+		// local results only.
+		sort.Slice(local, func(i, j int) bool { return local[i].Dist < local[j].Dist })
+		local = local[:aq.topK]
+	}
+	nodeID := n.node.ID()
+	aq.trace.add(TraceEvent{At: s.eng.Now(), Node: nodeID, Action: TraceAnswer,
+		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops,
+		Candidates: len(cands), Returned: len(local)})
+	if nodeID == aq.srcID {
+		// The querier is itself an index node for this region.
+		s.mergeResult(aq, nodeID, local)
+		return
+	}
+	var bytes int
+	if s.cfg.EncodeWire && aq.ix.MaxDist > 0 {
+		// Real binary encoding: distances are quantized against the
+		// index's maximum distance (rounded up, never understated).
+		entries := make([]wire.ResultEntry, len(local))
+		for i, r := range local {
+			entries[i] = wire.ResultEntry{Obj: int32(r.Obj), Dist: r.Dist}
+		}
+		data, err := wire.EncodeResult(entries, aq.ix.MaxDist)
+		if err == nil {
+			if decoded, derr := wire.DecodeResult(data, aq.ix.MaxDist); derr == nil {
+				for i, e := range decoded {
+					local[i] = Result{Obj: ObjectID(e.Obj), Dist: e.Dist}
+				}
+			}
+			bytes = len(data)
+		} else {
+			bytes = s.cfg.Msg.ResultMsgBytes(len(local))
+		}
+	} else {
+		bytes = s.cfg.Msg.ResultMsgBytes(len(local))
+	}
+	aq.stats.ResultMsgs++
+	aq.stats.ResultBytes += int64(bytes)
+	s.net.SendOrFail(n.node, aq.srcID, chord.KindResult, bytes, func(*chord.Node) {
+		s.mergeResult(aq, nodeID, local)
+	}, func() {
+		// The querier itself left (only possible under heavy churn).
+		s.dropSubquery(aq)
+	})
+}
+
+// mergeResult runs at the querier when one index node's answer
+// arrives.
+func (s *System) mergeResult(aq *activeQuery, from chord.ID, local []Result) {
+	now := s.eng.Now()
+	if !aq.gotFirst {
+		aq.gotFirst = true
+		aq.stats.FirstResult = now
+	}
+	aq.answered[from] = true
+	for _, r := range local {
+		if prev, ok := aq.results[r.Obj]; !ok || r.Dist < prev {
+			aq.results[r.Obj] = r.Dist
+		}
+	}
+	aq.stats.LastResult = now
+	aq.pending--
+	if aq.pending == 0 {
+		s.finish(aq)
+	}
+}
+
+// dropSubquery accounts a lost subquery and completes the query if it
+// was the last one outstanding.
+func (s *System) dropSubquery(aq *activeQuery) {
+	s.DroppedSubqueries++
+	aq.pending--
+	if aq.pending == 0 {
+		s.finish(aq)
+	}
+}
+
+func (s *System) finish(aq *activeQuery) {
+	if aq.finished {
+		return
+	}
+	aq.finished = true
+	out := make([]Result, 0, len(aq.results))
+	for obj, d := range aq.results {
+		out = append(out, Result{Obj: obj, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	if aq.topK > 0 && len(out) > aq.topK {
+		out = out[:aq.topK]
+	}
+	if !aq.gotFirst {
+		// No results arrived (all dropped); pin times to issue time.
+		aq.stats.FirstResult = aq.stats.Issued
+		aq.stats.LastResult = aq.stats.Issued
+	}
+	aq.stats.IndexNodes = len(aq.answered)
+	if aq.done != nil {
+		aq.done(&QueryResult{Results: out, Stats: aq.stats, Trace: aq.trace})
+	}
+}
+
+// ix returns the query's index scheme.
+func (s *System) ix(aq *activeQuery) *Index { return aq.ix }
+
+// ring maps an unrotated prefix key to its on-ring position for the
+// query's index.
+func (s *System) ring(aq *activeQuery, prekey lph.Key) chord.ID {
+	return aq.ix.Part.Ring(prekey)
+}
+
+// NaiveRangeQuery is the §3.3 strawman the paper argues against: the
+// querier decomposes the range into per-node subqueries and performs
+// an independent Chord lookup + direct query message for each
+// responsible node. Its cost scales with query selectivity; the
+// embedded-tree router shares prefixes instead. Results are identical;
+// only the message complexity differs.
+func (s *System) NaiveRangeQuery(indexName string, srcID chord.ID, payload any, center []float64, r float64, opts QueryOpts, done func(*QueryResult)) error {
+	ix, err := s.lookupIndex(indexName)
+	if err != nil {
+		return err
+	}
+	src, ok := s.nodes[srcID]
+	if !ok {
+		return fmt.Errorf("core: unknown source node %#x", srcID)
+	}
+	region, err := queryRegion(ix, center, r)
+	if err != nil {
+		return err
+	}
+	// Decompose until every subregion's key span has a single owner.
+	// The querier cannot know ownership, so it refines pessimistically:
+	// split to sibling cuboids and stop when a lookup-resolved owner
+	// covers the span (each subregion costs one full Chord lookup).
+	s.nextQ++
+	aq := &activeQuery{
+		id:       s.nextQ,
+		ix:       ix,
+		payload:  payload,
+		r:        r,
+		topK:     opts.TopK,
+		srcID:    srcID,
+		pending:  0,
+		results:  make(map[ObjectID]float64),
+		answered: make(map[chord.ID]bool),
+		done:     done,
+	}
+	aq.stats.Issued = s.eng.Now()
+
+	var pieces []query.Region
+	var decompose func(q query.Region)
+	decompose = func(q query.Region) {
+		lo, hi := lph.CuboidSpan(q.PreKey, q.PreLen)
+		ringLo := ix.Part.Ring(lo)
+		ownerLo, errLo := s.net.SuccessorID(ringLo)
+		// The span [lo, hi) has a single owner iff the successor of its
+		// first key reaches at least its last key clockwise. (Comparing
+		// successor(lo) with successor(hi-1) alone is fooled by spans
+		// that wrap the whole ring, e.g. an unrefined prefix.)
+		spanLen := hi - lo // wraps to 0 for the whole ring
+		single := errLo == nil && (s.net.Size() == 1 ||
+			(spanLen != 0 && chord.Dist(ringLo, ownerLo) >= spanLen-1))
+		if single || q.PreLen == lph.M {
+			pieces = append(pieces, q)
+			return
+		}
+		for _, sq := range query.Split(ix.Part, q, q.PreLen+1) {
+			decompose(sq)
+		}
+	}
+	decompose(region)
+	aq.pending = len(pieces)
+	if aq.pending == 0 {
+		s.finish(aq)
+		return nil
+	}
+	k := ix.Part.K()
+	for _, sq := range pieces {
+		sq := sq
+		rk := ix.Part.Ring(sq.PreKey)
+		// One full Chord lookup per piece, then one direct query
+		// message to the owner.
+		src.node.FindSuccessor(rk, s.cfg.Msg.QueryMsgBytes(1, k), func(owner chord.ID, hops int) {
+			bytes := s.cfg.Msg.QueryMsgBytes(1, k)
+			aq.stats.QueryMsgs += hops + 1
+			aq.stats.QueryBytes += int64(bytes * (hops + 1))
+			s.net.SendOrFail(src.node, owner, chord.KindQuery, bytes, func(dst *chord.Node) {
+				s.answerLocal(s.nodes[dst.ID()], aq, sq, hops+1)
+			}, func() {
+				s.dropSubquery(aq)
+			})
+		})
+	}
+	return nil
+}

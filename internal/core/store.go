@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/query"
+)
+
+// store holds one node's index entries for one index scheme. Entries
+// are kept with their ring keys so load migration can split a node's
+// range; the slice is unsorted between migrations (queries scan it
+// linearly — per-node entry counts are small by design).
+type store struct {
+	keys    []lph.Key // ring (rotated) key of each entry
+	entries []Entry
+}
+
+// add appends one entry.
+func (s *store) add(ringKey lph.Key, e Entry) {
+	s.keys = append(s.keys, ringKey)
+	s.entries = append(s.entries, e)
+}
+
+// size returns the number of entries (the paper's load measure).
+func (s *store) size() int { return len(s.entries) }
+
+// scan returns the entries whose index points fall inside the region's
+// cube.
+func (s *store) scan(r query.Region) []Entry {
+	var out []Entry
+	for i := range s.entries {
+		if r.Contains(s.entries[i].Point) {
+			out = append(out, s.entries[i])
+		}
+	}
+	return out
+}
+
+// medianKey returns a ring key that splits the store roughly in half:
+// entries with key <= medianKey form the lower half with respect to
+// the owner's range (pred, me]. The boolean is false when the store
+// cannot be split (fewer than 2 distinct keys).
+//
+// Ring keys within one node's range (pred, me] are ordered by their
+// clockwise offset from pred+1, which the caller supplies as base.
+func (s *store) medianKey(base lph.Key) (lph.Key, bool) {
+	if len(s.keys) < 2 {
+		return 0, false
+	}
+	offs := make([]uint64, len(s.keys))
+	for i, k := range s.keys {
+		offs[i] = k - base // clockwise offset, wraps correctly
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	mid := offs[len(offs)/2]
+	if mid == offs[0] {
+		// All of the lower half shares one key with the upper half's
+		// start — find the largest strictly-smaller offset boundary.
+		// If every entry has the same key the store is unsplittable
+		// (the paper's §4.3 observation: "the load balancing mechanism
+		// can not divide the index entries associated with a single
+		// key").
+		last := offs[len(offs)-1]
+		if offs[0] == last {
+			return 0, false
+		}
+		// Use the first offset strictly above the median value.
+		for _, o := range offs {
+			if o > mid {
+				mid = o
+				break
+			}
+		}
+	}
+	// The split node takes (pred, base+mid-1]; entries at base+mid stay.
+	return base + mid - 1, true
+}
+
+// extractUpTo removes and returns all entries whose ring key lies in
+// (base-1, split], i.e. the lower half of the owner's range after a
+// split at `split`. base is pred+1 (the start of the owner's range).
+func (s *store) extractUpTo(base, split lph.Key) ([]lph.Key, []Entry) {
+	span := split - base // inclusive span length - 1
+	var outK []lph.Key
+	var outE []Entry
+	keepK := s.keys[:0]
+	keepE := s.entries[:0]
+	for i, k := range s.keys {
+		if k-base <= span {
+			outK = append(outK, k)
+			outE = append(outE, s.entries[i])
+		} else {
+			keepK = append(keepK, k)
+			keepE = append(keepE, s.entries[i])
+		}
+	}
+	s.keys = keepK
+	s.entries = keepE
+	return outK, outE
+}
+
+// drain removes and returns everything.
+func (s *store) drain() ([]lph.Key, []Entry) {
+	k, e := s.keys, s.entries
+	s.keys, s.entries = nil, nil
+	return k, e
+}
+
+// addAll inserts a batch.
+func (s *store) addAll(keys []lph.Key, entries []Entry) {
+	s.keys = append(s.keys, keys...)
+	s.entries = append(s.entries, entries...)
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"landmarkdht/internal/chord"
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/sim"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Chord is the overlay configuration.
+	Chord chord.Config
+	// Msg is the message-size model (§4.1).
+	Msg MessageModel
+	// MaxHops bounds a subquery's path length as a routing-loop guard.
+	MaxHops int
+	// TransferBytesPerSec is the bandwidth assumed for load-migration
+	// entry transfers (affects how long migrated entries are in
+	// flight; queries during that window can miss them).
+	TransferBytesPerSec float64
+	// EncodeWire runs query and result messages through the real
+	// binary codec (internal/wire) instead of size accounting alone:
+	// subquery cubes are quantized to the paper's 2-byte bounds in
+	// transit (widened, so exactness of result sets is preserved) and
+	// result distances are quantized against Index.MaxDist.
+	EncodeWire bool
+}
+
+// DefaultConfig returns the paper's simulation parameters.
+func DefaultConfig() Config {
+	return Config{
+		Chord:               chord.DefaultConfig(),
+		Msg:                 DefaultMessageModel(),
+		MaxHops:             512,
+		TransferBytesPerSec: 1 << 20, // 1 MiB/s
+	}
+}
+
+// System is a simulated deployment of the index architecture: an
+// overlay of index nodes hosting any number of index schemes.
+type System struct {
+	eng   *sim.Engine
+	net   *chord.Network
+	cfg   Config
+	nodes map[chord.ID]*IndexNode
+	index map[string]*Index
+	nextQ int
+	lb    *lbController
+	// DroppedSubqueries counts subqueries lost to in-flight node
+	// departures (visible recall loss under churn).
+	DroppedSubqueries int
+}
+
+// IndexNode is the per-node application state: the index entries this
+// node stores for each index scheme.
+type IndexNode struct {
+	sys       *System
+	node      *chord.Node
+	stores    map[string]*store
+	migrating bool
+}
+
+// NewSystem creates an empty system over a fresh overlay.
+func NewSystem(eng *sim.Engine, model netmodel.Model, cfg Config) *System {
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 512
+	}
+	if cfg.TransferBytesPerSec <= 0 {
+		cfg.TransferBytesPerSec = 1 << 20
+	}
+	if cfg.Msg == (MessageModel{}) {
+		cfg.Msg = DefaultMessageModel()
+	}
+	return &System{
+		eng:   eng,
+		net:   chord.NewNetwork(eng, model, cfg.Chord),
+		cfg:   cfg,
+		nodes: make(map[chord.ID]*IndexNode),
+		index: make(map[string]*Index),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Network returns the underlying overlay.
+func (s *System) Network() *chord.Network { return s.net }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// AddNode joins a node with the given ring identifier and latency-
+// model host.
+func (s *System) AddNode(id chord.ID, host int) (*IndexNode, error) {
+	nd, err := s.net.AddNode(id, host)
+	if err != nil {
+		return nil, err
+	}
+	in := &IndexNode{sys: s, node: nd, stores: make(map[string]*store)}
+	s.nodes[id] = in
+	return in, nil
+}
+
+// Stabilize installs oracle-stabilized routing state on all nodes (the
+// measured steady state of the paper's experiments).
+func (s *System) Stabilize() { s.net.BuildAllTables() }
+
+// Node returns the index node with the given identifier, or nil.
+func (s *System) Node(id chord.ID) *IndexNode { return s.nodes[id] }
+
+// Nodes returns all index nodes in ring order.
+func (s *System) Nodes() []*IndexNode {
+	out := make([]*IndexNode, 0, len(s.nodes))
+	for _, nd := range s.net.Nodes() {
+		out = append(out, s.nodes[nd.ID()])
+	}
+	return out
+}
+
+// DeployIndex registers an index scheme on the platform. Multiple
+// schemes can coexist; each is rotated by its partitioner's offset.
+func (s *System) DeployIndex(ix *Index) error {
+	if err := ix.validate(); err != nil {
+		return err
+	}
+	if _, dup := s.index[ix.Name]; dup {
+		return fmt.Errorf("core: index %q already deployed", ix.Name)
+	}
+	s.index[ix.Name] = ix
+	return nil
+}
+
+// RemoveIndex undeploys a scheme and drops all of its entries from
+// every node. Used by dynamic landmark refresh (§6 future work #3):
+// the caller re-deploys the scheme with a new landmark set and
+// re-publishes the re-embedded entries.
+func (s *System) RemoveIndex(name string) error {
+	if _, ok := s.index[name]; !ok {
+		return fmt.Errorf("core: unknown index %q", name)
+	}
+	delete(s.index, name)
+	for _, in := range s.nodes {
+		delete(in.stores, name)
+	}
+	return nil
+}
+
+// IndexNames returns the deployed schemes.
+func (s *System) IndexNames() []string {
+	out := make([]string, 0, len(s.index))
+	for name := range s.index {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupIndex returns the deployed index by name.
+func (s *System) lookupIndex(name string) (*Index, error) {
+	ix, ok := s.index[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown index %q", name)
+	}
+	return ix, nil
+}
+
+// BulkLoad places entries directly on their responsible nodes through
+// the successor oracle — the fast path used to populate large
+// experiments. It is equivalent to every publish having completed.
+func (s *System) BulkLoad(indexName string, entries []Entry) error {
+	ix, err := s.lookupIndex(indexName)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if len(e.Point) != ix.Part.K() {
+			return fmt.Errorf("core: entry for %q has %d coordinates, want %d", indexName, len(e.Point), ix.Part.K())
+		}
+		key := ix.Part.Ring(ix.Part.Hash(e.Point))
+		owner, err := s.net.SuccessorNode(key)
+		if err != nil {
+			return err
+		}
+		s.nodes[owner.ID()].store(indexName).add(key, e)
+	}
+	return nil
+}
+
+// Publish inserts one entry through the overlay: a Chord lookup from
+// the source node resolves the responsible node, then the entry
+// travels there. done (optional) receives the owner and lookup hop
+// count.
+func (s *System) Publish(indexName string, srcID chord.ID, e Entry, done func(owner chord.ID, hops int)) error {
+	ix, err := s.lookupIndex(indexName)
+	if err != nil {
+		return err
+	}
+	src, ok := s.nodes[srcID]
+	if !ok {
+		return fmt.Errorf("core: unknown source node %#x", srcID)
+	}
+	if len(e.Point) != ix.Part.K() {
+		return fmt.Errorf("core: entry has %d coordinates, want %d", len(e.Point), ix.Part.K())
+	}
+	key := ix.Part.Ring(ix.Part.Hash(e.Point))
+	lookupBytes := 40
+	src.node.FindSuccessor(key, lookupBytes, func(owner chord.ID, hops int) {
+		entryBytes := s.cfg.Msg.TransferBytes(1)
+		s.net.SendOrFail(src.node, owner, chord.KindLookup, entryBytes, func(dst *chord.Node) {
+			s.nodes[dst.ID()].store(indexName).add(key, e)
+			if done != nil {
+				done(dst.ID(), hops+1)
+			}
+		}, func() {
+			// Owner vanished: re-resolve through the oracle so the
+			// entry is not lost (models retry).
+			cur, err := s.net.SuccessorNode(key)
+			if err != nil {
+				return
+			}
+			s.nodes[cur.ID()].store(indexName).add(key, e)
+			if done != nil {
+				done(cur.ID(), hops+1)
+			}
+		})
+	})
+	return nil
+}
+
+// store returns (creating on demand) the node's store for a scheme.
+func (in *IndexNode) store(indexName string) *store {
+	st, ok := in.stores[indexName]
+	if !ok {
+		st = &store{}
+		in.stores[indexName] = st
+	}
+	return st
+}
+
+// Snapshot copies the node's entries per index scheme (used by churn
+// injection to model soft-state republication of a crashed node's
+// entries).
+func (in *IndexNode) Snapshot() map[string][]Entry {
+	out := make(map[string][]Entry, len(in.stores))
+	for name, st := range in.stores {
+		if st.size() == 0 {
+			continue
+		}
+		out[name] = append([]Entry(nil), st.entries...)
+	}
+	return out
+}
+
+// ForgetNode drops the application state of a node that crashed at the
+// overlay layer (chord.Network.CrashNode). Its entries are gone until
+// republished.
+func (s *System) ForgetNode(id chord.ID) {
+	delete(s.nodes, id)
+}
+
+// Load returns the node's total entry count across schemes — the
+// paper's load measure.
+func (in *IndexNode) Load() int {
+	total := 0
+	for _, st := range in.stores {
+		total += st.size()
+	}
+	return total
+}
+
+// LoadFor returns the node's entry count for one scheme.
+func (in *IndexNode) LoadFor(indexName string) int {
+	if st, ok := in.stores[indexName]; ok {
+		return st.size()
+	}
+	return 0
+}
+
+// ID returns the node's ring identifier.
+func (in *IndexNode) ID() chord.ID { return in.node.ID() }
+
+// ChordNode returns the underlying overlay node.
+func (in *IndexNode) ChordNode() *chord.Node { return in.node }
+
+// Loads returns every node's load in descending order — the paper's
+// Figure 4 / Figure 6 presentation ("nodes are sorted in the
+// decreasing order of the load").
+func (s *System) Loads() []int {
+	out := make([]int, 0, len(s.nodes))
+	for _, in := range s.nodes {
+		out = append(out, in.Load())
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// LoadsFor returns per-node loads for one scheme, descending.
+func (s *System) LoadsFor(indexName string) []int {
+	out := make([]int, 0, len(s.nodes))
+	for _, in := range s.nodes {
+		out = append(out, in.LoadFor(indexName))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// TotalEntries sums all stored entries (conservation check).
+func (s *System) TotalEntries() int {
+	total := 0
+	for _, in := range s.nodes {
+		total += in.Load()
+	}
+	return total
+}
+
+// reinsert routes a batch of migrated entries to their current oracle
+// owners (destination nodes may themselves have moved while the batch
+// was in flight).
+func (s *System) reinsert(indexName string, keys []lph.Key, entries []Entry) {
+	for i, key := range keys {
+		owner, err := s.net.SuccessorNode(key)
+		if err != nil {
+			continue
+		}
+		s.nodes[owner.ID()].store(indexName).add(key, entries[i])
+	}
+}

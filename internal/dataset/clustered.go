@@ -1,0 +1,175 @@
+// Package dataset provides the workload generators behind the paper's
+// evaluation: the clustered multi-dimensional synthetic dataset of
+// §4.2 (Table 1), a synthetic sparse document corpus statistically
+// matched to the TREC-1,2-AP dataset of §4.3 (Table 2), and DNA-like
+// string datasets for the edit-distance examples.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"landmarkdht/internal/metric"
+)
+
+// ClusteredConfig mirrors the paper's Table 1 parameters.
+type ClusteredConfig struct {
+	// N is the number of data objects (paper: 10^5).
+	N int
+	// Dim is the dimensionality (paper: 100).
+	Dim int
+	// Lo and Hi bound each dimension (paper: [0, 100]).
+	Lo, Hi float64
+	// Clusters is the number of data clusters (paper: 10).
+	Clusters int
+	// Dev is the per-dimension standard deviation within a cluster
+	// (paper: 20).
+	Dev float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Table1 returns the paper's exact synthetic-dataset parameters.
+func Table1() ClusteredConfig {
+	return ClusteredConfig{N: 100_000, Dim: 100, Lo: 0, Hi: 100, Clusters: 10, Dev: 20, Seed: 1}
+}
+
+func (c *ClusteredConfig) validate() error {
+	if c.N <= 0 || c.Dim <= 0 || c.Clusters <= 0 {
+		return fmt.Errorf("dataset: N, Dim and Clusters must be positive (got %d, %d, %d)", c.N, c.Dim, c.Clusters)
+	}
+	if c.Hi <= c.Lo {
+		return fmt.Errorf("dataset: empty range [%v, %v]", c.Lo, c.Hi)
+	}
+	if c.Dev < 0 {
+		return fmt.Errorf("dataset: negative deviation %v", c.Dev)
+	}
+	return nil
+}
+
+// centers draws the cluster centers uniformly in the data range.
+func (c *ClusteredConfig) centers(rng *rand.Rand) []metric.Vector {
+	out := make([]metric.Vector, c.Clusters)
+	for i := range out {
+		v := make(metric.Vector, c.Dim)
+		for d := range v {
+			v[d] = c.Lo + rng.Float64()*(c.Hi-c.Lo)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Clustered generates the dataset: each object belongs to a uniformly
+// chosen cluster and is normally distributed around its center with
+// the configured deviation, clamped to the data range. The paper's
+// query sets are generated with the same method (use a different
+// seed).
+func Clustered(cfg ClusteredConfig) ([]metric.Vector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := cfg.centers(rng)
+	return sampleAround(rng, cfg, centers, cfg.N), nil
+}
+
+// ClusteredWithQueries generates a dataset and a query set that share
+// cluster centers — queries are "the same method" (§4.2) applied to
+// the same underlying distribution.
+func ClusteredWithQueries(cfg ClusteredConfig, queries int) (data, qs []metric.Vector, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if queries < 0 {
+		return nil, nil, fmt.Errorf("dataset: negative query count %d", queries)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := cfg.centers(rng)
+	data = sampleAround(rng, cfg, centers, cfg.N)
+	qs = sampleAround(rng, cfg, centers, queries)
+	return data, qs, nil
+}
+
+func sampleAround(rng *rand.Rand, cfg ClusteredConfig, centers []metric.Vector, n int) []metric.Vector {
+	out := make([]metric.Vector, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		v := make(metric.Vector, cfg.Dim)
+		for d := range v {
+			x := c[d] + rng.NormFloat64()*cfg.Dev
+			if x < cfg.Lo {
+				x = cfg.Lo
+			} else if x > cfg.Hi {
+				x = cfg.Hi
+			}
+			v[d] = x
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// DNAConfig parameterizes the string dataset for the edit-distance
+// application (§2 example 1).
+type DNAConfig struct {
+	// N is the number of sequences.
+	N int
+	// Length is the sequence length.
+	Length int
+	// Families is the number of ancestral sequences; members of a
+	// family are mutated copies of the ancestor.
+	Families int
+	// MutationRate is the per-position probability of a point
+	// mutation (change, insert, or delete).
+	MutationRate float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DNA generates the sequences plus the index of the family each
+// sequence descends from.
+func DNA(cfg DNAConfig) (seqs []string, family []int, err error) {
+	if cfg.N <= 0 || cfg.Length <= 0 || cfg.Families <= 0 {
+		return nil, nil, fmt.Errorf("dataset: N, Length and Families must be positive")
+	}
+	if cfg.MutationRate < 0 || cfg.MutationRate > 1 {
+		return nil, nil, fmt.Errorf("dataset: mutation rate %v outside [0,1]", cfg.MutationRate)
+	}
+	const alpha = "ACGT"
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ancestors := make([]string, cfg.Families)
+	for i := range ancestors {
+		b := make([]byte, cfg.Length)
+		for j := range b {
+			b[j] = alpha[rng.Intn(4)]
+		}
+		ancestors[i] = string(b)
+	}
+	seqs = make([]string, cfg.N)
+	family = make([]int, cfg.N)
+	for i := range seqs {
+		f := rng.Intn(cfg.Families)
+		family[i] = f
+		src := ancestors[f]
+		var out []byte
+		for j := 0; j < len(src); j++ {
+			if rng.Float64() >= cfg.MutationRate {
+				out = append(out, src[j])
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0: // substitute
+				out = append(out, alpha[rng.Intn(4)])
+			case 1: // insert
+				out = append(out, alpha[rng.Intn(4)], src[j])
+			case 2: // delete
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, alpha[rng.Intn(4)])
+		}
+		seqs[i] = string(out)
+	}
+	return seqs, family, nil
+}

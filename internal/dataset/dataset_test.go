@@ -1,0 +1,321 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"landmarkdht/internal/metric"
+)
+
+func TestClusteredBasic(t *testing.T) {
+	cfg := ClusteredConfig{N: 1000, Dim: 10, Lo: 0, Hi: 100, Clusters: 5, Dev: 5, Seed: 1}
+	data, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1000 {
+		t.Fatalf("len = %d", len(data))
+	}
+	for _, v := range data {
+		if len(v) != 10 {
+			t.Fatalf("dim = %d", len(v))
+		}
+		for _, x := range v {
+			if x < 0 || x > 100 {
+				t.Fatalf("coordinate %v out of range", x)
+			}
+		}
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	// With small deviation, the average nearest-neighbor distance must
+	// be far below the expected distance of uniform data.
+	cfg := ClusteredConfig{N: 500, Dim: 10, Lo: 0, Hi: 100, Clusters: 3, Dev: 2, Seed: 2}
+	data, _ := Clustered(cfg)
+	var nnSum float64
+	for i := 0; i < 100; i++ {
+		best := math.Inf(1)
+		for j := range data {
+			if j == i {
+				continue
+			}
+			if d := metric.L2(data[i], data[j]); d < best {
+				best = d
+			}
+		}
+		nnSum += best
+	}
+	avgNN := nnSum / 100
+	// Uniform data in [0,100]^10 has typical pairwise distance ~130.
+	if avgNN > 30 {
+		t.Fatalf("average NN distance %v too large for clustered data", avgNN)
+	}
+}
+
+func TestClusteredDeterministic(t *testing.T) {
+	cfg := ClusteredConfig{N: 50, Dim: 4, Lo: 0, Hi: 10, Clusters: 2, Dev: 1, Seed: 7}
+	a, _ := Clustered(cfg)
+	b, _ := Clustered(cfg)
+	for i := range a {
+		if metric.L2(a[i], b[i]) != 0 {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	cfg.Seed = 8
+	c, _ := Clustered(cfg)
+	if metric.L2(a[0], c[0]) == 0 && metric.L2(a[1], c[1]) == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	bad := []ClusteredConfig{
+		{N: 0, Dim: 1, Lo: 0, Hi: 1, Clusters: 1},
+		{N: 1, Dim: 0, Lo: 0, Hi: 1, Clusters: 1},
+		{N: 1, Dim: 1, Lo: 1, Hi: 1, Clusters: 1},
+		{N: 1, Dim: 1, Lo: 0, Hi: 1, Clusters: 0},
+		{N: 1, Dim: 1, Lo: 0, Hi: 1, Clusters: 1, Dev: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Clustered(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestClusteredWithQueriesSharesCenters(t *testing.T) {
+	cfg := ClusteredConfig{N: 400, Dim: 8, Lo: 0, Hi: 100, Clusters: 2, Dev: 1, Seed: 3}
+	data, qs, err := ClusteredWithQueries(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	// Every query must be near some data point (same clusters).
+	for _, q := range qs {
+		best := math.Inf(1)
+		for _, d := range data {
+			if dd := metric.L2(q, d); dd < best {
+				best = dd
+			}
+		}
+		if best > 30 {
+			t.Fatalf("query %v is %v away from all data", q[:2], best)
+		}
+	}
+	if _, _, err := ClusteredWithQueries(cfg, -1); err == nil {
+		t.Fatal("expected error for negative query count")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	cfg := Table1()
+	if cfg.N != 100000 || cfg.Dim != 100 || cfg.Lo != 0 || cfg.Hi != 100 ||
+		cfg.Clusters != 10 || cfg.Dev != 20 {
+		t.Fatalf("Table1 = %+v", cfg)
+	}
+}
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	cfg := CorpusConfig{Docs: 2000, Vocab: 20000, Topics: 20, TopicTerms: 100, Seed: 1}
+	c, err := NewCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusBasic(t *testing.T) {
+	c := smallCorpus(t)
+	if len(c.Docs) != 2000 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	for i, d := range c.Docs {
+		if d.NNZ() < 1 {
+			t.Fatalf("doc %d has no terms", i)
+		}
+		for _, v := range d.Val {
+			if v <= 0 {
+				t.Fatalf("doc %d has non-positive weight", i)
+			}
+		}
+	}
+}
+
+func TestCorpusSizeDistribution(t *testing.T) {
+	c := smallCorpus(t)
+	st := VectorSizeStats(c.Docs)
+	// Shape check against Table 2: median near 146, long right tail.
+	if st.P50 < 110 || st.P50 > 190 {
+		t.Fatalf("median size = %d, want near 146", st.P50)
+	}
+	if st.P95 < 220 || st.P95 > 380 {
+		t.Fatalf("95th pct = %d, want near 293", st.P95)
+	}
+	if st.Max > 676 {
+		t.Fatalf("max size = %d, exceeds Table 2 max", st.Max)
+	}
+	if st.Mean < 120 || st.Mean > 200 {
+		t.Fatalf("mean = %v, want near 155", st.Mean)
+	}
+	if st.Min < 1 {
+		t.Fatalf("min = %d", st.Min)
+	}
+}
+
+func TestCorpusTopicalClustering(t *testing.T) {
+	c := smallCorpus(t)
+	// Same-topic documents must be closer (in angle) than cross-topic
+	// ones on average.
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			d := metric.CosineAngle(c.Docs[i], c.Docs[j])
+			if c.Topic[i] == c.Topic[j] {
+				same += d
+				nSame++
+			} else {
+				cross += d
+				nCross++
+			}
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Skip("degenerate topic draw")
+	}
+	if same/float64(nSame) >= cross/float64(nCross) {
+		t.Fatalf("same-topic angle %v not below cross-topic %v",
+			same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestCorpusQueries(t *testing.T) {
+	c := smallCorpus(t)
+	qs, err := c.Queries(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 40 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	// Repeats reuse the same distinct vectors.
+	if metric.CosineAngle(qs[0], qs[10]) > 1e-9 {
+		t.Fatal("repetition should reuse query vectors")
+	}
+	// Average ~3.5 unique terms.
+	var sum int
+	for _, q := range qs[:10] {
+		sum += q.NNZ()
+	}
+	avg := float64(sum) / 10
+	if avg < 3 || avg > 4 {
+		t.Fatalf("avg query terms = %v, want in [3,4]", avg)
+	}
+	// Queries must be topically relevant: close to some document.
+	for ti, q := range qs[:10] {
+		best := math.Inf(1)
+		for _, d := range c.Docs {
+			if dd := metric.CosineAngle(q, d); dd < best {
+				best = dd
+			}
+		}
+		if best > 1.4 {
+			t.Fatalf("query topic %d at angle %v from all docs", ti, best)
+		}
+	}
+	if _, err := c.Queries(0, 1, 1); err == nil {
+		t.Fatal("expected error for zero topics")
+	}
+	if _, err := c.Queries(999, 1, 1); err == nil {
+		t.Fatal("expected error for too many topics")
+	}
+}
+
+func TestCorpusValidation(t *testing.T) {
+	if _, err := NewCorpus(CorpusConfig{Docs: 0, Vocab: 10}); err == nil {
+		t.Fatal("expected error for zero docs")
+	}
+	if _, err := NewCorpus(CorpusConfig{Docs: 10, Vocab: 10, Topics: 5, TopicTerms: 100}); err == nil {
+		t.Fatal("expected error for topics exceeding vocab")
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := CorpusConfig{Docs: 200, Vocab: 5000, Topics: 5, TopicTerms: 50, Seed: 9}
+	a, _ := NewCorpus(cfg)
+	b, _ := NewCorpus(cfg)
+	for i := range a.Docs {
+		da, db := a.Docs[i], b.Docs[i]
+		if da.NNZ() != db.NNZ() {
+			t.Fatal("same seed produced different corpus (sizes)")
+		}
+		for j := range da.Idx {
+			if da.Idx[j] != db.Idx[j] || da.Val[j] != db.Val[j] {
+				t.Fatal("same seed produced different corpus (terms)")
+			}
+		}
+	}
+}
+
+func TestVectorSizeStatsEmpty(t *testing.T) {
+	st := VectorSizeStats(nil)
+	if st.Mean != 0 || st.Max != 0 {
+		t.Fatalf("stats of empty set = %+v", st)
+	}
+}
+
+func TestDistinctTerms(t *testing.T) {
+	a, _ := metric.NewSparseVector([]uint32{1, 2}, []float64{1, 1})
+	b, _ := metric.NewSparseVector([]uint32{2, 3}, []float64{1, 1})
+	if got := DistinctTerms([]metric.SparseVector{a, b}); got != 3 {
+		t.Fatalf("distinct = %d, want 3", got)
+	}
+}
+
+func TestDNA(t *testing.T) {
+	seqs, fam, err := DNA(DNAConfig{N: 200, Length: 40, Families: 4, MutationRate: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 200 || len(fam) != 200 {
+		t.Fatalf("lens = %d, %d", len(seqs), len(fam))
+	}
+	// Same-family sequences must be closer in edit distance.
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			d := metric.Edit(seqs[i], seqs[j])
+			if fam[i] == fam[j] {
+				same += d
+				nSame++
+			} else {
+				cross += d
+				nCross++
+			}
+		}
+	}
+	if nSame > 0 && nCross > 0 && same/float64(nSame) >= cross/float64(nCross) {
+		t.Fatalf("family structure missing: same=%v cross=%v", same/float64(nSame), cross/float64(nCross))
+	}
+	if _, _, err := DNA(DNAConfig{N: 0, Length: 1, Families: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, _, err := DNA(DNAConfig{N: 1, Length: 1, Families: 1, MutationRate: 2}); err == nil {
+		t.Fatal("expected error for bad rate")
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	cfg := CorpusConfig{Docs: 2000, Vocab: 20000, Topics: 20, TopicTerms: 100, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCorpus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

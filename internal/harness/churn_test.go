@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+func TestAblationChurnSmall(t *testing.T) {
+	scale := tinyScale()
+	scale.Queries = 60
+	cells, err := AblationChurn(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	base := cells[0]
+	if base.Crashes != 0 || base.MeanSessionTime != 0 {
+		t.Fatal("baseline row must have no churn")
+	}
+	harshest := cells[len(cells)-1]
+	if harshest.Crashes == 0 {
+		t.Fatal("harshest churn produced no crashes")
+	}
+	// Churn cannot improve recall.
+	if harshest.Cell.Recall > base.Cell.Recall+1e-9 {
+		t.Fatalf("churn improved recall: %.3f > %.3f", harshest.Cell.Recall, base.Cell.Recall)
+	}
+	for _, c := range cells {
+		t.Logf("session=%v crashes=%d joins=%d lost=%d recall=%.3f dropped=%d",
+			c.MeanSessionTime, c.Crashes, c.Joins, c.LostEntries, c.Cell.Recall, c.Cell.Dropped)
+	}
+}

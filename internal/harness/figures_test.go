@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestFigure3Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 30
+	scale.DistinctQueries = 10
+	cells, err := Figure3(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4*len(RangeFactors()) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	migrated := false
+	for _, c := range cells {
+		if c.Migrations > 0 {
+			migrated = true
+		}
+		if c.Recall < 0 || c.Recall > 1 {
+			t.Fatalf("recall = %v", c.Recall)
+		}
+	}
+	if !migrated {
+		t.Fatal("no cell migrated under δ=0")
+	}
+}
+
+func TestFigure5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 30
+	cells, err := Figure5(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*len(RangeFactors()) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Both schemes present.
+	schemes := map[string]bool{}
+	for _, c := range cells {
+		schemes[c.Scheme] = true
+	}
+	if !schemes["Greedy-10"] || !schemes["K-mean-10"] {
+		t.Fatalf("schemes = %v", schemes)
+	}
+}
+
+func TestFigure6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 20
+	curves, err := Figure6(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	var greedy, kmean LoadCurve
+	for _, c := range curves {
+		switch c.Scheme {
+		case "Greedy-10":
+			greedy = c
+		case "K-mean-10":
+			kmean = c
+		}
+	}
+	// The §4.3 signature: greedy's load stays far more concentrated
+	// than k-means' even after balancing.
+	if len(greedy.Loads) == 0 || len(kmean.Loads) == 0 {
+		t.Fatal("empty curves")
+	}
+	if greedy.Loads[0] <= kmean.Loads[0] {
+		t.Logf("note: greedy max %d vs kmean max %d (tiny scale can soften the contrast)",
+			greedy.Loads[0], kmean.Loads[0])
+	}
+}
+
+func TestAblationNaiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 30
+	scale.DistinctQueries = 10
+	cells, err := AblationNaive(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(cells) / 2
+	// At the largest range factor naive must cost more messages.
+	tree, naive := cells[half-1], cells[len(cells)-1]
+	if tree.Scheme != "tree" || naive.Scheme != "naive" {
+		t.Fatalf("labels: %q %q", tree.Scheme, naive.Scheme)
+	}
+	if naive.QueryMsgs.Mean <= tree.QueryMsgs.Mean {
+		t.Fatalf("naive (%v msgs) not costlier than tree (%v) at rf=20%%",
+			naive.QueryMsgs.Mean, tree.QueryMsgs.Mean)
+	}
+	// Identical recall: the two routers return the same results.
+	if naive.Recall != tree.Recall {
+		t.Fatalf("recall differs: naive %v vs tree %v", naive.Recall, tree.Recall)
+	}
+}
+
+func TestAblationLBSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 20
+	cells, err := AblationLB(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// δ=0/P=4 must balance at least as well as δ=2/P=1.
+	var tight, loose LBSweepCell
+	for _, c := range cells {
+		if c.Delta == 0 && c.ProbeLevel == 4 {
+			tight = c
+		}
+		if c.Delta == 2 && c.ProbeLevel == 1 {
+			loose = c
+		}
+	}
+	if tight.Cell.LoadGini > loose.Cell.LoadGini+0.05 {
+		t.Fatalf("tight LB gini %v worse than loose %v", tight.Cell.LoadGini, loose.Cell.LoadGini)
+	}
+}
+
+func TestAblationKSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 20
+	cells, err := AblationK(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Per-subquery bytes grow with k (4k bytes of ranges per subquery).
+	if cells[0].QueryBytes.Mean/cells[0].QueryMsgs.Mean >=
+		cells[len(cells)-1].QueryBytes.Mean/cells[len(cells)-1].QueryMsgs.Mean {
+		t.Fatal("per-message bytes did not grow with landmark count")
+	}
+}
+
+func TestAblationPNSSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scale := tinyScale()
+	scale.Queries = 40
+	cells, err := AblationPNS(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := cells[0], cells[1]
+	if on.Scheme != "PNS-on" || off.Scheme != "PNS-off" {
+		t.Fatalf("labels: %q %q", on.Scheme, off.Scheme)
+	}
+	// Identical recall (PNS only changes which physical routes are
+	// taken), and PNS should not be slower on average.
+	if on.Recall != off.Recall {
+		t.Fatalf("recall differs: %v vs %v", on.Recall, off.Recall)
+	}
+	if on.RespMs.Mean > off.RespMs.Mean*1.1 {
+		t.Fatalf("PNS slower: %v vs %v ms", on.RespMs.Mean, off.RespMs.Mean)
+	}
+}
+
+func TestTable2Scaling(t *testing.T) {
+	scale := tinyScale()
+	st, err := Table2(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DistinctTerms <= 0 || st.DistinctTerms > scale.CorpusVocab {
+		t.Fatalf("distinct terms = %d", st.DistinctTerms)
+	}
+}
+
+func TestBuildCorpusValidation(t *testing.T) {
+	scale := tinyScale()
+	scale.CorpusDocs = 0
+	if _, err := buildCorpus(scale); err == nil {
+		t.Fatal("expected error for zero docs")
+	}
+}
+
+func TestAblationMapping(t *testing.T) {
+	scale := tinyScale()
+	cells, err := AblationMapping(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Candidates identical across mappings at the same k (sanity).
+	if cells[0].Candidates.Mean != cells[1].Candidates.Mean {
+		t.Fatalf("candidate sets differ across mappings: %v vs %v",
+			cells[0].Candidates.Mean, cells[1].Candidates.Mean)
+	}
+	// Hilbert must not be worse than Morton on node spread at k=5
+	// (the regime where curve quality matters).
+	if cells[1].Mapping != "hilbert" || cells[0].Mapping != "kd-morton" {
+		t.Fatalf("ordering: %v %v", cells[0].Mapping, cells[1].Mapping)
+	}
+	if cells[1].NodesTouched.Mean > cells[0].NodesTouched.Mean*1.05 {
+		t.Fatalf("hilbert touched more nodes: %v vs %v",
+			cells[1].NodesTouched.Mean, cells[0].NodesTouched.Mean)
+	}
+}

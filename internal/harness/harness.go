@@ -1,0 +1,200 @@
+// Package harness reproduces the paper's evaluation (§4): it builds
+// simulated deployments of the index architecture, drives the query
+// workloads, and regenerates the data series behind every table and
+// figure, plus the ablations listed in DESIGN.md.
+//
+// Experiments are deterministic for a given Scale (seeded RNGs all the
+// way down) and run independent simulation engines in parallel across
+// cells of a figure.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"landmarkdht/internal/eval"
+)
+
+// Scale sizes an experiment. The paper's setup is PaperScale; tests
+// and quick benchmarks use the smaller presets, which preserve the
+// qualitative shapes at a fraction of the cost.
+type Scale struct {
+	// Nodes is the overlay size.
+	Nodes int
+	// DataN is the synthetic dataset size (§4.2: 10^5).
+	DataN int
+	// Dim is the synthetic dataset dimensionality (§4.2: 100).
+	Dim int
+	// Queries is the total number of queries (§4.1: 2000).
+	Queries int
+	// DistinctQueries is the number of distinct query points; queries
+	// repeat round-robin (§4.3 repeats 50 topics).
+	DistinctQueries int
+	// CorpusDocs / CorpusVocab size the TREC-AP substitute corpus
+	// (§4.3: 157,021 docs, 233,640 terms).
+	CorpusDocs  int
+	CorpusVocab int
+	// CorpusTopics is the number of distinct query topics (§4.3: 50).
+	CorpusTopics int
+	// LandmarkSample is the selection sample size (§4.2: 2000 objects,
+	// §4.3: 3000 documents).
+	LandmarkSample int
+	// Interarrival is the mean of the exponential query interarrival
+	// time (§4.1: 150 s).
+	Interarrival time.Duration
+	// LBPeriod is the load-balancing probe period.
+	LBPeriod time.Duration
+	// Seed drives every random choice in the experiment.
+	Seed int64
+}
+
+// PaperScale is the full §4 configuration.
+func PaperScale() Scale {
+	return Scale{
+		Nodes:           1024,
+		DataN:           100_000,
+		Dim:             100,
+		Queries:         2000,
+		DistinctQueries: 400,
+		CorpusDocs:      157_021,
+		CorpusVocab:     233_640,
+		CorpusTopics:    50,
+		LandmarkSample:  2000,
+		Interarrival:    150 * time.Second,
+		LBPeriod:        time.Hour,
+		Seed:            1,
+	}
+}
+
+// SmallScale keeps every shape at interactive cost (seconds).
+func SmallScale() Scale {
+	return Scale{
+		Nodes:           128,
+		DataN:           20_000,
+		Dim:             100,
+		Queries:         240,
+		DistinctQueries: 60,
+		CorpusDocs:      8000,
+		CorpusVocab:     40_000,
+		CorpusTopics:    20,
+		LandmarkSample:  500,
+		Interarrival:    500 * time.Millisecond,
+		LBPeriod:        5 * time.Second,
+		Seed:            1,
+	}
+}
+
+// BenchScale is the tiny preset used by the repository's testing.B
+// benchmarks.
+func BenchScale() Scale {
+	s := SmallScale()
+	s.Nodes = 64
+	s.DataN = 5000
+	s.Queries = 80
+	s.DistinctQueries = 20
+	s.CorpusDocs = 3000
+	s.CorpusVocab = 20_000
+	s.CorpusTopics = 10
+	s.LandmarkSample = 300
+	return s
+}
+
+func (s *Scale) validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("harness: need at least 2 nodes, got %d", s.Nodes)
+	}
+	if s.DataN <= 0 || s.Queries <= 0 || s.DistinctQueries <= 0 {
+		return fmt.Errorf("harness: non-positive workload sizes")
+	}
+	if s.DistinctQueries > s.Queries {
+		s.DistinctQueries = s.Queries
+	}
+	if s.Dim <= 0 {
+		s.Dim = 100
+	}
+	if s.LandmarkSample <= 0 {
+		s.LandmarkSample = 500
+	}
+	if s.Interarrival <= 0 {
+		s.Interarrival = 500 * time.Millisecond
+	}
+	if s.LBPeriod <= 0 {
+		s.LBPeriod = 5 * time.Second
+	}
+	return nil
+}
+
+// SchemeMethod selects the landmark-selection algorithm.
+type SchemeMethod string
+
+const (
+	// Greedy is Algorithm 1 (max-min selection).
+	Greedy SchemeMethod = "greedy"
+	// KMeans uses cluster centroids as landmarks.
+	KMeans SchemeMethod = "kmean"
+)
+
+// Scheme is one landmark-selection configuration, e.g. Kmean-10.
+type Scheme struct {
+	Method SchemeMethod
+	K      int
+}
+
+// Name renders the paper's scheme labels ("Greedy-5", "K-mean-10").
+func (sc Scheme) Name() string {
+	switch sc.Method {
+	case Greedy:
+		return fmt.Sprintf("Greedy-%d", sc.K)
+	case KMeans:
+		return fmt.Sprintf("K-mean-%d", sc.K)
+	default:
+		return fmt.Sprintf("%s-%d", sc.Method, sc.K)
+	}
+}
+
+// Figure2Schemes returns the four schemes of §4.2.
+func Figure2Schemes() []Scheme {
+	return []Scheme{
+		{Greedy, 5}, {Greedy, 10}, {KMeans, 5}, {KMeans, 10},
+	}
+}
+
+// RangeFactors returns the §4.2 query-range sweep (ratio of query
+// range to the maximum theoretical distance), 0.1% to 20%.
+func RangeFactors() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+}
+
+// Cell is one data point of a figure: a (scheme, range-factor)
+// combination with the paper's §4.1 cost metrics aggregated over the
+// query workload.
+type Cell struct {
+	Scheme      string
+	RangeFactor float64
+	// Recall is the mean recall@10 over all queries.
+	Recall float64
+	// Hops is the per-query maximum path length distribution.
+	Hops eval.Summary
+	// RespMs / MaxLatMs are response time and maximum latency in ms.
+	RespMs   eval.Summary
+	MaxLatMs eval.Summary
+	// QueryMsgs / QueryBytes / ResultBytes are per-query delivery
+	// costs.
+	QueryMsgs   eval.Summary
+	QueryBytes  eval.Summary
+	ResultBytes eval.Summary
+	// IndexNodes is the per-query count of answering nodes.
+	IndexNodes eval.Summary
+	// Candidates is the per-query candidate-set size before exact
+	// refinement.
+	Candidates eval.Summary
+	// Dropped counts subqueries lost to churn during the workload.
+	Dropped int
+	// Migrations / MigrationsAborted report load-balancing activity.
+	Migrations        int
+	MigrationsAborted int
+	// MaxLoad and LoadGini summarize the post-workload load
+	// distribution.
+	MaxLoad  int
+	LoadGini float64
+}

@@ -1,0 +1,159 @@
+// Package indexspace implements the landmark-based index space of
+// §3.1: the contractive mapping from a generic metric space (D, d) to
+// the k-dimensional vector space
+//
+//	x ↦ (d(x, l₁), d(x, l₂), …, d(x, l_k))
+//
+// and the conversion of a near-neighbor query (q, r) into the
+// k-hypercube range query centered at the image of q with edge 2r,
+// which by the triangle inequality contains the image of every object
+// within distance r of q.
+package indexspace
+
+import (
+	"fmt"
+
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/metric"
+)
+
+// Embedding binds a metric space to a concrete landmark set and the
+// index-space boundary used for partitioning.
+type Embedding[T any] struct {
+	space     metric.Space[T]
+	landmarks []T
+	bounds    []lph.Bounds
+}
+
+// Option configures New.
+type Option[T any] func(*config[T])
+
+type config[T any] struct {
+	sample []T
+}
+
+// WithSampleBoundary derives the index-space boundary from the
+// landmark-selection sample (§3.1 boundary approach 2) instead of the
+// metric's a-priori bound.
+func WithSampleBoundary[T any](sample []T) Option[T] {
+	return func(c *config[T]) { c.sample = sample }
+}
+
+// New creates an Embedding. The boundary of each dimension is, in
+// order of preference: the per-dimension [min,max] landmark-to-sample
+// distance when WithSampleBoundary is given; otherwise [0, Max] for a
+// bounded metric. Unbounded metrics without a sample are rejected —
+// wrap them with metric.Bound first (the paper's d' = d/(1+d)
+// adjustment).
+func New[T any](space metric.Space[T], landmarks []T, opts ...Option[T]) (*Embedding[T], error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("indexspace: no landmarks")
+	}
+	var cfg config[T]
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var bounds []lph.Bounds
+	switch {
+	case len(cfg.sample) > 0:
+		bounds = boundary(landmarks, cfg.sample, space.Dist)
+	case space.Bounded:
+		bounds = make([]lph.Bounds, len(landmarks))
+		for i := range bounds {
+			bounds[i] = lph.Bounds{Lo: 0, Hi: space.Max}
+		}
+	default:
+		return nil, fmt.Errorf("indexspace: metric %q is unbounded and no sample boundary was provided; wrap it with metric.Bound", space.Name)
+	}
+	return &Embedding[T]{space: space, landmarks: landmarks, bounds: bounds}, nil
+}
+
+// boundary mirrors landmark.Boundary; duplicated locally to keep the
+// package dependency graph acyclic (landmark depends on lph only).
+func boundary[T any](landmarks, sample []T, d metric.Distance[T]) []lph.Bounds {
+	bounds := make([]lph.Bounds, len(landmarks))
+	for i, l := range landmarks {
+		lo, hi := -1.0, 0.0
+		for _, s := range sample {
+			dd := d(l, s)
+			if lo < 0 || dd < lo {
+				lo = dd
+			}
+			if dd > hi {
+				hi = dd
+			}
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		bounds[i] = lph.Bounds{Lo: lo, Hi: hi}
+	}
+	return bounds
+}
+
+// K returns the index-space dimensionality (the number of landmarks).
+func (e *Embedding[T]) K() int { return len(e.landmarks) }
+
+// Space returns the underlying metric space.
+func (e *Embedding[T]) Space() metric.Space[T] { return e.space }
+
+// Landmarks returns the landmark set (shared, not copied — landmarks
+// are immutable once the platform is initialized).
+func (e *Embedding[T]) Landmarks() []T { return e.landmarks }
+
+// Bounds returns a copy of the per-dimension index-space boundary.
+func (e *Embedding[T]) Bounds() []lph.Bounds { return append([]lph.Bounds(nil), e.bounds...) }
+
+// Map embeds a data object: coordinate i is the distance from x to
+// landmark i. Coordinates are not clamped here; the locality-
+// preserving hash clamps to the boundary when keying (the paper maps
+// out-of-boundary objects to boundary points).
+func (e *Embedding[T]) Map(x T) []float64 {
+	out := make([]float64, len(e.landmarks))
+	for i, l := range e.landmarks {
+		out[i] = e.space.Dist(x, l)
+	}
+	return out
+}
+
+// Distance returns d(a, b) in the original metric space (used for the
+// exact refinement step that removes false positives).
+func (e *Embedding[T]) Distance(a, b T) float64 { return e.space.Dist(a, b) }
+
+// QueryCube converts the near-neighbor query (q, r) into the index-
+// space range query: the hypercube centered at Map(q) with edge 2r,
+// intersected with the boundary. The returned center is Map(q).
+func (e *Embedding[T]) QueryCube(q T, r float64) (center []float64, cube []lph.Bounds, err error) {
+	if r < 0 {
+		return nil, nil, fmt.Errorf("indexspace: negative query range %v", r)
+	}
+	center = e.Map(q)
+	cube = make([]lph.Bounds, len(center))
+	for i, c := range center {
+		lo := e.bounds[i].Clamp(c - r)
+		hi := e.bounds[i].Clamp(c + r)
+		cube[i] = lph.Bounds{Lo: lo, Hi: hi}
+	}
+	return center, cube, nil
+}
+
+// Partitioner builds the locality-preserving hash partitioner over
+// this embedding's boundary, rotated by the offset derived from the
+// metric-space name (§3.4). Pass rotate=false to disable rotation
+// (used by the rotation ablation).
+func (e *Embedding[T]) Partitioner(rotate bool) (*lph.Partitioner, error) {
+	p, err := lph.NewWithBounds(e.bounds)
+	if err != nil {
+		return nil, err
+	}
+	if rotate {
+		p = p.WithRotation(lph.PhiForName(e.space.Name))
+	}
+	return p, nil
+}

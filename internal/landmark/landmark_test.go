@@ -1,0 +1,280 @@
+package landmark
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"landmarkdht/internal/metric"
+)
+
+// fourCorners is a sample with four tight clusters at the corners of
+// the unit square.
+func fourCorners(rng *rand.Rand, perCluster int) []metric.Vector {
+	centers := []metric.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	var out []metric.Vector
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			out = append(out, metric.Vector{
+				c[0] + rng.NormFloat64()*0.01,
+				c[1] + rng.NormFloat64()*0.01,
+			})
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func nearestCenter(v metric.Vector) int {
+	centers := []metric.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	best, bestD := 0, metric.L2(v, centers[0])
+	for i := 1; i < 4; i++ {
+		if d := metric.L2(v, centers[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func TestGreedyCoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := fourCorners(rng, 50)
+	lm, err := Greedy(rng, sample, 4, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != 4 {
+		t.Fatalf("got %d landmarks", len(lm))
+	}
+	// Max-min selection must land one landmark near each corner.
+	seen := map[int]bool{}
+	for _, l := range lm {
+		seen[nearestCenter(l)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("greedy landmarks cover %d of 4 clusters: %v", len(seen), lm)
+	}
+}
+
+func TestGreedyDispersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := fourCorners(rng, 50)
+	lm, err := Greedy(rng, sample, 4, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Spread(lm, metric.L2); s < 0.9 {
+		t.Fatalf("greedy spread = %v, want ~1 (corner separation)", s)
+	}
+}
+
+func TestGreedyMembersOfSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sample := fourCorners(rng, 10)
+	lm, _ := Greedy(rng, sample, 5, metric.L2)
+	for _, l := range lm {
+		found := false
+		for _, s := range sample {
+			if s[0] == l[0] && s[1] == l[1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("greedy produced a landmark not in the sample")
+		}
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Greedy(rng, []metric.Vector{{1}}, 2, metric.L2); err == nil {
+		t.Fatal("expected error for k > |sample|")
+	}
+	if _, err := Greedy[metric.Vector](rng, []metric.Vector{{1}}, 1, nil); err == nil {
+		t.Fatal("expected error for nil distance")
+	}
+	if _, err := Greedy(rng, []metric.Vector{{1}}, 0, metric.L2); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+}
+
+func TestKMeansFindsCentroids(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sample := fourCorners(rng, 100)
+	lm, err := KMeans(rng, sample, 4, metric.L2, DenseMean, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range lm {
+		c := nearestCenter(l)
+		seen[c] = true
+		centers := []metric.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		if d := metric.L2(l, centers[c]); d > 0.05 {
+			t.Fatalf("centroid %v is %v away from its cluster center", l, d)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("k-means covered %d of 4 clusters", len(seen))
+	}
+}
+
+func TestKMeansRequiresMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(rng, fourCorners(rng, 5), 2, metric.L2, nil, 10); err == nil {
+		t.Fatal("expected error for nil mean")
+	}
+}
+
+func TestKMedoidsOnStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sample := []string{
+		"AAAAAAAA", "AAAAAAAT", "AAAAAATT",
+		"GGGGGGGG", "GGGGGGGC", "GGGGGGCC",
+	}
+	lm, err := KMedoids(rng, sample, 2, metric.Edit, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != 2 {
+		t.Fatalf("got %d medoids", len(lm))
+	}
+	// One medoid should be A-heavy, the other G-heavy.
+	if metric.Edit(lm[0], lm[1]) < 6 {
+		t.Fatalf("medoids %q %q not separated", lm[0], lm[1])
+	}
+}
+
+func TestDenseMean(t *testing.T) {
+	m := DenseMean([]metric.Vector{{0, 0}, {2, 4}})
+	if m[0] != 1 || m[1] != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestDenseMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DenseMean(nil)
+}
+
+func TestSparseMeanMergesTerms(t *testing.T) {
+	a, _ := metric.NewSparseVector([]uint32{1, 2}, []float64{2, 2})
+	b, _ := metric.NewSparseVector([]uint32{2, 3}, []float64{4, 6})
+	m := SparseMean([]metric.SparseVector{a, b})
+	if m.NNZ() != 3 {
+		t.Fatalf("mean nnz = %d, want 3 (union of terms)", m.NNZ())
+	}
+	// term 2 appears in both: (2+4)/2 = 3.
+	for i, idx := range m.Idx {
+		switch idx {
+		case 1:
+			if m.Val[i] != 1 {
+				t.Fatalf("term 1 weight = %v", m.Val[i])
+			}
+		case 2:
+			if m.Val[i] != 3 {
+				t.Fatalf("term 2 weight = %v", m.Val[i])
+			}
+		case 3:
+			if m.Val[i] != 3 {
+				t.Fatalf("term 3 weight = %v", m.Val[i])
+			}
+		}
+	}
+}
+
+func TestSparseMeanGrowsSupport(t *testing.T) {
+	// The §4.3 property: centroids have more terms than members.
+	rng := rand.New(rand.NewSource(6))
+	var docs []metric.SparseVector
+	for i := 0; i < 50; i++ {
+		idx := make([]uint32, 10)
+		val := make([]float64, 10)
+		for j := range idx {
+			idx[j] = uint32(rng.Intn(1000))
+			val[j] = 1
+		}
+		sv, _ := metric.NewSparseVector(idx, val)
+		docs = append(docs, sv)
+	}
+	m := SparseMean(docs)
+	if m.NNZ() <= docs[0].NNZ()*2 {
+		t.Fatalf("centroid nnz = %d, want much larger than a member's ~10", m.NNZ())
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	sample := []metric.Vector{{0}, {1}, {2}, {10}}
+	lms := []metric.Vector{{0}, {5}}
+	b := Boundary(lms, sample, metric.L2)
+	if len(b) != 2 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0].Lo != 0 || b[0].Hi != 10 {
+		t.Fatalf("bounds[0] = %+v, want [0,10]", b[0])
+	}
+	if b[1].Lo != 3 || b[1].Hi != 5 {
+		t.Fatalf("bounds[1] = %+v, want [3,5]", b[1])
+	}
+}
+
+func TestBoundaryDegenerate(t *testing.T) {
+	sample := []metric.Vector{{1}, {1}}
+	lms := []metric.Vector{{1}}
+	b := Boundary(lms, sample, metric.L2)
+	if b[0].Hi <= b[0].Lo {
+		t.Fatalf("degenerate dimension not widened: %+v", b[0])
+	}
+}
+
+func TestSpread(t *testing.T) {
+	lms := []metric.Vector{{0, 0}, {3, 4}, {0, 1}}
+	if s := Spread(lms, metric.L2); s != 1 {
+		t.Fatalf("spread = %v, want 1", s)
+	}
+	if Spread([]metric.Vector{{1}}, metric.L2) != 0 {
+		t.Fatal("singleton spread must be 0")
+	}
+}
+
+func TestGreedyVsRandomSpread(t *testing.T) {
+	// Greedy should be at least as dispersive as a random pick on
+	// clustered data — this is its raison d'être (§3.1).
+	rng := rand.New(rand.NewSource(7))
+	sample := fourCorners(rng, 100)
+	g, _ := Greedy(rng, sample, 4, metric.L2)
+	var worstRandom float64 = math.Inf(1)
+	for trial := 0; trial < 10; trial++ {
+		idx := rng.Perm(len(sample))[:4]
+		var pick []metric.Vector
+		for _, i := range idx {
+			pick = append(pick, sample[i])
+		}
+		if s := Spread(pick, metric.L2); s < worstRandom {
+			worstRandom = s
+		}
+	}
+	if Spread(g, metric.L2) < worstRandom {
+		t.Fatalf("greedy spread %v below worst random %v", Spread(g, metric.L2), worstRandom)
+	}
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	mk := func(seed int64) []metric.Vector {
+		rng := rand.New(rand.NewSource(seed))
+		sample := fourCorners(rng, 30)
+		lm, _ := KMeans(rng, sample, 4, metric.L2, DenseMean, 30)
+		return lm
+	}
+	a, b := mk(11), mk(11)
+	for i := range a {
+		if metric.L2(a[i], b[i]) != 0 {
+			t.Fatal("same seed produced different landmarks")
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package lph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, k int, lo, hi float64) *Partitioner {
+	t.Helper()
+	p, err := New(k, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, 1); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := New(2, 1, 1); err == nil {
+		t.Fatal("expected error for empty range")
+	}
+	if _, err := NewWithBounds(nil); err == nil {
+		t.Fatal("expected error for no bounds")
+	}
+	if _, err := NewWithBounds([]Bounds{{0, 1}, {2, 2}}); err == nil {
+		t.Fatal("expected error for empty dim bound")
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	var k Key = 0x8000000000000001 // bit 1 and bit 64 set
+	if GetBit(k, 1) != 1 || GetBit(k, 2) != 0 || GetBit(k, 64) != 1 {
+		t.Fatalf("GetBit wrong: %d %d %d", GetBit(k, 1), GetBit(k, 2), GetBit(k, 64))
+	}
+	if SetBit(0, 1) != 0x8000000000000000 {
+		t.Fatalf("SetBit(0,1) = %x", SetBit(0, 1))
+	}
+	if SetBit(0, 64) != 1 {
+		t.Fatalf("SetBit(0,64) = %x", SetBit(0, 64))
+	}
+	if ClearBit(k, 1) != 1 {
+		t.Fatalf("ClearBit = %x", ClearBit(k, 1))
+	}
+}
+
+func TestPrefixHelpers(t *testing.T) {
+	if PrefixMask(0) != 0 {
+		t.Fatalf("PrefixMask(0) = %x", PrefixMask(0))
+	}
+	if PrefixMask(64) != ^Key(0) {
+		t.Fatalf("PrefixMask(64) = %x", PrefixMask(64))
+	}
+	if PrefixMask(3) != 0xE000000000000000 {
+		t.Fatalf("PrefixMask(3) = %x", PrefixMask(3))
+	}
+	k := Key(0xDEADBEEFCAFEBABE)
+	if Prefix(k, 8) != 0xDE00000000000000 {
+		t.Fatalf("Prefix = %x", Prefix(k, 8))
+	}
+	if !SamePrefix(0xDE00000000000000, k, 8) {
+		t.Fatal("SamePrefix false negative")
+	}
+	if SamePrefix(0xDF00000000000000, k, 8) {
+		t.Fatal("SamePrefix false positive")
+	}
+	if !SamePrefix(1, 2, 0) {
+		t.Fatal("zero-length prefix must always match")
+	}
+}
+
+func TestFirstZeroBitAfter(t *testing.T) {
+	if got := FirstZeroBitAfter(^Key(0), 0); got != 0 {
+		t.Fatalf("all-ones: got %d, want 0", got)
+	}
+	// 101... : bit1=1, bit2=0
+	k := Key(0xA000000000000000)
+	if got := FirstZeroBitAfter(k, 1); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	if got := FirstZeroBitAfter(k, 2); got != 4 {
+		t.Fatalf("got %d, want 4", got)
+	}
+	if got := FirstZeroBitAfter(^Key(0)-1, 63); got != 64 {
+		t.Fatalf("got %d, want 64", got)
+	}
+}
+
+func TestCuboidSpan(t *testing.T) {
+	lo, hi := CuboidSpan(0xFF00000000000000, 4)
+	if lo != 0xF000000000000000 || hi != 0 {
+		t.Fatalf("span = [%x, %x)", lo, hi)
+	}
+	lo, hi = CuboidSpan(0, 0)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("whole-ring span = [%x, %x)", lo, hi)
+	}
+	lo, hi = CuboidSpan(0x4000000000000000, 2)
+	if lo != 0x4000000000000000 || hi != 0x8000000000000000 {
+		t.Fatalf("span = [%x, %x)", lo, hi)
+	}
+}
+
+// Figure 1(a) of the paper: in a 2-d space recursively partitioned,
+// the rectangle labeled "011" covers x in the lower half after the
+// first division (bit1=0 on dim0), y upper half (bit2=1 on dim1), and
+// x upper quarter of the lower half (bit3=1 on dim0).
+func TestCuboidMatchesPaperFigure1(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	prekey := Key(0x6000000000000000) // bits "011" then zeros
+	c := p.Cuboid(prekey, 3)
+	if c[0].Lo != 0.25 || c[0].Hi != 0.5 {
+		t.Fatalf("dim0 = %+v, want [0.25,0.5]", c[0])
+	}
+	if c[1].Lo != 0.5 || c[1].Hi != 1 {
+		t.Fatalf("dim1 = %+v, want [0.5,1]", c[1])
+	}
+}
+
+func TestHashKnownQuadrants(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	// First two bits select (x-half, y-half).
+	cases := []struct {
+		pt []float64
+		b1 uint
+		b2 uint
+	}{
+		{[]float64{0.1, 0.1}, 0, 0},
+		{[]float64{0.9, 0.1}, 1, 0},
+		{[]float64{0.1, 0.9}, 0, 1},
+		{[]float64{0.9, 0.9}, 1, 1},
+	}
+	for _, c := range cases {
+		k := p.Hash(c.pt)
+		if GetBit(k, 1) != c.b1 || GetBit(k, 2) != c.b2 {
+			t.Errorf("Hash(%v) = %x, want bits (%d,%d)", c.pt, k, c.b1, c.b2)
+		}
+	}
+}
+
+func TestHashClampsOutOfRange(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	inside := p.Hash([]float64{1, 1})
+	outside := p.Hash([]float64{5, 7})
+	if inside != outside {
+		t.Fatalf("out-of-range point not clamped: %x vs %x", inside, outside)
+	}
+	low := p.Hash([]float64{0, 0})
+	lower := p.Hash([]float64{-3, -3})
+	if low != lower {
+		t.Fatalf("below-range point not clamped: %x vs %x", low, lower)
+	}
+}
+
+func TestHashPanicsOnDimMismatch(t *testing.T) {
+	p := mustNew(t, 3, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Hash([]float64{1, 2})
+}
+
+// Property: the cuboid reconstructed from a point's full key contains
+// the (clamped) point.
+func TestQuickHashCuboidContainsPoint(t *testing.T) {
+	p := mustNew(t, 3, -10, 10)
+	f := func(a, b, c float64) bool {
+		pt := []float64{clampf(a, -10, 10), clampf(b, -10, 10), clampf(c, -10, 10)}
+		key := p.Hash(pt)
+		cu := p.Cuboid(key, M)
+		for j := range pt {
+			// Allow the half-open convention: point can sit exactly on
+			// a boundary shared with the neighboring cuboid.
+			if pt[j] < cu[j].Lo-1e-12 || pt[j] > cu[j].Hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1)), Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampf(x, lo, hi float64) float64 {
+	if x != x || x < lo { // NaN or below
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Property: locality. Points within the same cuboid at depth l share
+// an l-bit key prefix; conversely a key's first bits identify
+// progressively smaller boxes around the point.
+func TestLocalityPrefixSharing(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Pick a random depth-8 cuboid and two random points inside it.
+		var prekey Key
+		for i := 1; i <= 8; i++ {
+			if rng.Intn(2) == 1 {
+				prekey = SetBit(prekey, i)
+			}
+		}
+		cu := p.Cuboid(prekey, 8)
+		mk := func() []float64 {
+			pt := make([]float64, 2)
+			for j := range pt {
+				pt[j] = cu[j].Lo + rng.Float64()*(cu[j].Hi-cu[j].Lo)*0.999 + 1e-9
+			}
+			return pt
+		}
+		k1, k2 := p.Hash(mk()), p.Hash(mk())
+		if !SamePrefix(k1, k2, 8) {
+			t.Fatalf("points in same depth-8 cuboid got prefixes %x vs %x", k1, k2)
+		}
+		if !SamePrefix(k1, prekey, 8) {
+			t.Fatalf("hash prefix %x does not match cuboid %x", Prefix(k1, 8), Prefix(prekey, 8))
+		}
+	}
+}
+
+// Property: contraction of key distance with spatial distance — the
+// closer two points, the longer (on average) the shared prefix. We
+// check the deterministic core: halving the distance to a fixed point
+// along dimension 0 never shortens the shared prefix by more than the
+// alternation period.
+func TestLocalityMonotoneAlongDim(t *testing.T) {
+	p := mustNew(t, 1, 0, 1)
+	base := p.Hash([]float64{0.5001})
+	prev := -1
+	for _, d := range []float64{0.4, 0.2, 0.1, 0.05, 0.01, 0.001} {
+		k := p.Hash([]float64{0.5001 + d})
+		shared := sharedPrefixLen(base, k)
+		if shared < prev {
+			t.Fatalf("shared prefix shrank from %d to %d as points got closer", prev, shared)
+		}
+		prev = shared
+	}
+}
+
+func sharedPrefixLen(a, b Key) int {
+	for l := M; l >= 0; l-- {
+		if SamePrefix(a, b, l) {
+			return l
+		}
+	}
+	return 0
+}
+
+func TestSplitMidMatchesCuboid(t *testing.T) {
+	p := mustNew(t, 3, 0, 8)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		key := Key(rng.Uint64())
+		pos := 1 + rng.Intn(24)
+		j := (pos - 1) % 3
+		// SplitMid must equal the midpoint of dimension j of the
+		// cuboid identified by the first pos-1 bits.
+		cu := p.Cuboid(key, pos-1)
+		want := cu[j].Mid()
+		if got := p.SplitMid(key, pos); got != want {
+			t.Fatalf("SplitMid(key=%x,pos=%d) = %v, want %v", key, pos, got, want)
+		}
+	}
+}
+
+func TestRotation(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	r := p.WithRotation(1000)
+	if p.Phi() != 0 || r.Phi() != 1000 {
+		t.Fatalf("phi: %d, %d", p.Phi(), r.Phi())
+	}
+	pt := []float64{0.3, 0.7}
+	if r.MapPoint(pt) != p.Hash(pt)+1000 {
+		t.Fatal("MapPoint must add phi")
+	}
+	if r.Unring(r.Ring(0xABCD)) != 0xABCD {
+		t.Fatal("Unring(Ring(x)) != x")
+	}
+	// Wrap-around is fine with uint64 arithmetic.
+	big := p.WithRotation(^Key(0))
+	if big.Ring(5) != 4 {
+		t.Fatalf("wraparound ring = %d, want 4", big.Ring(5))
+	}
+	if big.Unring(4) != 5 {
+		t.Fatalf("wraparound unring = %d, want 5", big.Unring(4))
+	}
+	// Rotation must not mutate the original.
+	if p.Phi() != 0 {
+		t.Fatal("WithRotation mutated receiver")
+	}
+}
+
+func TestPhiForName(t *testing.T) {
+	a, b := PhiForName("index-a"), PhiForName("index-b")
+	if a == b {
+		t.Fatal("distinct names should rotate differently")
+	}
+	if PhiForName("index-a") != a {
+		t.Fatal("PhiForName must be deterministic")
+	}
+}
+
+// Names differing only in a trailing character must produce offsets
+// far apart on the ring — otherwise simultaneous index schemes with
+// similar names keep overlapping hotspots (the whole point of the
+// rotation is to separate them).
+func TestPhiForNameAvalanche(t *testing.T) {
+	const minSep = Key(1) << 48
+	phis := make([]Key, 8)
+	for i := range phis {
+		phis[i] = PhiForName("syn-l2" + string(rune('a'+i)))
+	}
+	for i := range phis {
+		for j := i + 1; j < len(phis); j++ {
+			d := phis[i] - phis[j]
+			if d > ^Key(0)/2 {
+				d = -d
+			}
+			if d < minSep {
+				t.Fatalf("offsets %d and %d only %#x apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	b := Bounds{2, 6}
+	if b.Mid() != 4 {
+		t.Fatalf("Mid = %v", b.Mid())
+	}
+	if !b.Contains(2) || !b.Contains(6) || b.Contains(6.01) {
+		t.Fatal("Contains wrong")
+	}
+	if b.Clamp(1) != 2 || b.Clamp(7) != 6 || b.Clamp(3) != 3 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestCuboidPanicsOnBadPrelen(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Cuboid(0, 65)
+}
+
+func TestAllBoundsIsCopy(t *testing.T) {
+	p := mustNew(t, 2, 0, 1)
+	ab := p.AllBounds()
+	ab[0].Lo = 99
+	if p.Bounds(0).Lo == 99 {
+		t.Fatal("AllBounds aliases internal state")
+	}
+}
+
+func BenchmarkHashDim10(b *testing.B) {
+	p, _ := New(10, 0, 1000)
+	pt := make([]float64, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := range pt {
+		pt[i] = rng.Float64() * 1000
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Hash(pt)
+	}
+}

@@ -1,0 +1,66 @@
+package metric
+
+// PointSet is a finite set of points in a common vector space, the
+// object type for the paper's image-search application (§2 example 3,
+// citing Huttenlocher et al. [14]).
+type PointSet []Vector
+
+// Hausdorff returns the Hausdorff distance between two non-empty point
+// sets under the ground metric d:
+//
+//	H(A,B) = max( max_{a∈A} min_{b∈B} d(a,b),  max_{b∈B} min_{a∈A} d(a,b) ).
+//
+// It is a metric on compact sets whenever d is a metric. Empty sets
+// are defined to be at distance 0 from each other and at +Inf from any
+// non-empty set would break boundedness, so we treat the directed
+// distance from an empty set as 0.
+func Hausdorff(d Distance[Vector]) Distance[PointSet] {
+	directed := func(a, b PointSet) float64 {
+		var worst float64
+		for _, p := range a {
+			best := -1.0
+			for _, q := range b {
+				v := d(p, q)
+				if best < 0 || v < best {
+					best = v
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		return worst
+	}
+	return func(a, b PointSet) float64 {
+		if len(a) == 0 && len(b) == 0 {
+			return 0
+		}
+		if len(a) == 0 || len(b) == 0 {
+			// Degenerate; callers should not index empty sets.
+			other := a
+			if len(other) == 0 {
+				other = b
+			}
+			return directed(other, other[:1])
+		}
+		ab := directed(a, b)
+		ba := directed(b, a)
+		if ab > ba {
+			return ab
+		}
+		return ba
+	}
+}
+
+// HausdorffSpace returns a Space over point sets under the Hausdorff
+// distance induced by the Euclidean ground metric, bounded by the
+// diameter of the coordinate box [lo,hi]^dim.
+func HausdorffSpace(name string, dim int, lo, hi float64) Space[PointSet] {
+	ground := EuclideanSpace("ground", dim, lo, hi)
+	return Space[PointSet]{
+		Name:    name,
+		Dist:    Hausdorff(L2),
+		Bounded: true,
+		Max:     ground.Max,
+	}
+}

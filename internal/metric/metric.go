@@ -1,0 +1,60 @@
+// Package metric implements the generic metric spaces from §2 of the
+// paper: a data domain D together with a black-box distance function
+// satisfying positivity, reflexivity, symmetry and the triangle
+// inequality.
+//
+// The index architecture never inspects objects directly — it only
+// calls the distance function — so any of the paper's six motivating
+// applications (DNA sequences, vocal patterns, images, time series,
+// documents, sentences) plugs in through a Space value.
+package metric
+
+import "fmt"
+
+// Distance computes the dissimilarity between two objects. It must be
+// non-negative, zero iff the objects are equal, symmetric, and satisfy
+// the triangle inequality.
+type Distance[T any] func(a, b T) float64
+
+// Space bundles a distance function with metadata the indexing layer
+// needs: a name (used to derive the rotation offset for multi-index
+// deployments, §3.4) and an optional a-priori upper bound on distances
+// (used for index-space boundaries, §3.1).
+type Space[T any] struct {
+	// Name identifies the metric space / index scheme. Two index
+	// schemes with different names receive different rotation offsets.
+	Name string
+	// Dist is the black-box distance function.
+	Dist Distance[T]
+	// Bounded reports whether Max is a valid upper bound for Dist.
+	Bounded bool
+	// Max is the maximum possible distance when Bounded is true.
+	Max float64
+}
+
+// Validate checks structural invariants of the space definition.
+func (s Space[T]) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("metric: space has empty name")
+	}
+	if s.Dist == nil {
+		return fmt.Errorf("metric: space %q has nil distance function", s.Name)
+	}
+	if s.Bounded && s.Max <= 0 {
+		return fmt.Errorf("metric: bounded space %q has non-positive Max %v", s.Name, s.Max)
+	}
+	return nil
+}
+
+// Bound wraps an unbounded metric with the paper's d' = d/(1+d)
+// transform (§3.1 "Boundary of index space"). The result is a metric
+// bounded by 1 that preserves the ordering of distances.
+func Bound[T any](s Space[T]) Space[T] {
+	inner := s.Dist
+	return Space[T]{
+		Name:    s.Name + "/bounded",
+		Dist:    func(a, b T) float64 { d := inner(a, b); return d / (1 + d) },
+		Bounded: true,
+		Max:     1,
+	}
+}

@@ -1,0 +1,165 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSparse(rng *rand.Rand, vocab uint32, nnz int) SparseVector {
+	idx := make([]uint32, nnz)
+	val := make([]float64, nnz)
+	for i := range idx {
+		idx[i] = rng.Uint32() % vocab
+		val[i] = rng.Float64() + 0.01
+	}
+	sv, err := NewSparseVector(idx, val)
+	if err != nil {
+		panic(err)
+	}
+	return sv
+}
+
+func TestNewSparseVectorSortsAndMerges(t *testing.T) {
+	sv, err := NewSparseVector([]uint32{5, 1, 5, 3}, []float64{1, 2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (zero dropped, dup merged)", sv.NNZ())
+	}
+	if sv.Idx[0] != 1 || sv.Idx[1] != 5 {
+		t.Fatalf("idx = %v, want [1 5]", sv.Idx)
+	}
+	if sv.Val[1] != 4 {
+		t.Fatalf("merged val = %v, want 4", sv.Val[1])
+	}
+}
+
+func TestNewSparseVectorErrors(t *testing.T) {
+	if _, err := NewSparseVector([]uint32{1}, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := NewSparseVector([]uint32{1}, []float64{-1}); err == nil {
+		t.Fatal("expected negative-weight error")
+	}
+}
+
+func TestDotKnown(t *testing.T) {
+	a, _ := NewSparseVector([]uint32{1, 3, 5}, []float64{1, 2, 3})
+	b, _ := NewSparseVector([]uint32{3, 5, 7}, []float64{4, 5, 6})
+	if got := Dot(a, b); got != 2*4+3*5 {
+		t.Fatalf("dot = %v, want 23", got)
+	}
+	if Dot(a, b) != Dot(b, a) {
+		t.Fatal("dot not symmetric")
+	}
+}
+
+func TestCosineAngleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := randSparse(rng, 1000, 1+rng.Intn(20))
+		b := randSparse(rng, 1000, 1+rng.Intn(20))
+		d := CosineAngle(a, b)
+		if d < 0 || d > math.Pi/2+1e-12 {
+			t.Fatalf("angle %v out of [0, π/2]", d)
+		}
+	}
+}
+
+func TestCosineAngleIdentical(t *testing.T) {
+	a, _ := NewSparseVector([]uint32{1, 2}, []float64{3, 4})
+	if d := CosineAngle(a, a); d > 1e-9 {
+		t.Fatalf("self angle = %v", d)
+	}
+	// Parallel vectors are at angle 0 too (angle is a metric on rays).
+	b, _ := NewSparseVector([]uint32{1, 2}, []float64{6, 8})
+	if d := CosineAngle(a, b); d > 1e-7 {
+		t.Fatalf("parallel angle = %v", d)
+	}
+}
+
+func TestCosineAngleOrthogonal(t *testing.T) {
+	a, _ := NewSparseVector([]uint32{1}, []float64{1})
+	b, _ := NewSparseVector([]uint32{2}, []float64{1})
+	if d := CosineAngle(a, b); math.Abs(d-math.Pi/2) > 1e-12 {
+		t.Fatalf("orthogonal angle = %v, want π/2", d)
+	}
+}
+
+func TestCosineAngleZeroVectors(t *testing.T) {
+	z := SparseVector{}
+	a, _ := NewSparseVector([]uint32{1}, []float64{1})
+	if d := CosineAngle(z, z); d != 0 {
+		t.Fatalf("zero-zero angle = %v", d)
+	}
+	if d := CosineAngle(z, a); math.Abs(d-math.Pi/2) > 1e-12 {
+		t.Fatalf("zero-nonzero angle = %v, want π/2", d)
+	}
+}
+
+func TestCosineAngleTriangle(t *testing.T) {
+	// The angle satisfies the triangle inequality on the sphere.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		x := randSparse(rng, 50, 1+rng.Intn(10))
+		y := randSparse(rng, 50, 1+rng.Intn(10))
+		z := randSparse(rng, 50, 1+rng.Intn(10))
+		if CosineAngle(x, y)+CosineAngle(y, z) < CosineAngle(x, z)-1e-9 {
+			t.Fatal("triangle inequality violated for angles")
+		}
+	}
+}
+
+func TestCosineSpace(t *testing.T) {
+	s := CosineSpace("docs")
+	if !s.Bounded || math.Abs(s.Max-math.Pi/2) > 1e-12 {
+		t.Fatalf("space = %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormKnown(t *testing.T) {
+	v, _ := NewSparseVector([]uint32{0, 1}, []float64{3, 4})
+	if v.Norm() != 5 {
+		t.Fatalf("norm = %v, want 5", v.Norm())
+	}
+}
+
+func TestHausdorffKnown(t *testing.T) {
+	h := Hausdorff(L2)
+	a := PointSet{{0, 0}}
+	b := PointSet{{3, 4}}
+	if got := h(a, b); got != 5 {
+		t.Fatalf("H = %v, want 5", got)
+	}
+	// Adding a point to b closer to a reduces the directed distance
+	// a->b but not b->a.
+	b2 := PointSet{{3, 4}, {0, 1}}
+	if got := h(a, b2); got != 5 {
+		t.Fatalf("H = %v, want 5 (farthest of b still governs)", got)
+	}
+	if got := h(b2, b2); got != 0 {
+		t.Fatalf("H(self) = %v", got)
+	}
+}
+
+func TestHausdorffSpaceBound(t *testing.T) {
+	s := HausdorffSpace("img", 2, 0, 1)
+	if math.Abs(s.Max-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Max = %v, want sqrt(2)", s.Max)
+	}
+}
+
+func BenchmarkCosineAngleNNZ155(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSparse(rng, 233640, 155)
+	y := randSparse(rng, 233640, 155)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CosineAngle(x, y)
+	}
+}

@@ -1,0 +1,173 @@
+// Package query implements the range-query geometry of §3.3: query
+// regions tagged with prefix keys, the initial prefix computation
+// ("the code of the smallest hypercuboid that can completely hold the
+// query region"), and QuerySplit (Algorithm 4), which bisects a region
+// at its next k-d division.
+package query
+
+import (
+	"fmt"
+
+	"landmarkdht/internal/lph"
+)
+
+// Region is a (sub)query in the index space: a hypercube plus the
+// prefix identifying the smallest enclosing cuboid discovered so far.
+// The bits of PreKey beyond PreLen are always zero (the paper's
+// "padding zeros to the right").
+type Region struct {
+	Cube   []lph.Bounds
+	PreKey lph.Key
+	PreLen int
+}
+
+// Clone deep-copies the region (the cube is mutable during splits).
+func (r Region) Clone() Region {
+	cp := r
+	cp.Cube = append([]lph.Bounds(nil), r.Cube...)
+	return cp
+}
+
+// Contains reports whether an index point lies inside the region's
+// cube (closed on both ends).
+func (r Region) Contains(point []float64) bool {
+	if len(point) != len(r.Cube) {
+		return false
+	}
+	for i, b := range r.Cube {
+		if !b.Contains(point[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural invariants.
+func (r Region) Validate(p *lph.Partitioner) error {
+	if len(r.Cube) != p.K() {
+		return fmt.Errorf("query: cube has %d dims, partitioner has %d", len(r.Cube), p.K())
+	}
+	if r.PreLen < 0 || r.PreLen > lph.M {
+		return fmt.Errorf("query: prefix length %d out of range", r.PreLen)
+	}
+	if lph.Prefix(r.PreKey, r.PreLen) != r.PreKey {
+		return fmt.Errorf("query: prekey %x has non-zero bits beyond prefix length %d", r.PreKey, r.PreLen)
+	}
+	cu := p.Cuboid(r.PreKey, r.PreLen)
+	for j, b := range r.Cube {
+		if b.Hi < b.Lo {
+			return fmt.Errorf("query: empty range on dim %d: %+v", j, b)
+		}
+		if b.Lo < cu[j].Lo-1e-9 || b.Hi > cu[j].Hi+1e-9 {
+			return fmt.Errorf("query: cube dim %d %+v escapes cuboid %+v", j, b, cu[j])
+		}
+	}
+	return nil
+}
+
+// New builds the initial query region for a cube: it computes the
+// prefix of the smallest hypercuboid completely holding the cube by
+// descending divisions while the cube stays in one half (figure 1(a)).
+// The cube is clamped to the partitioner's boundary first.
+func New(p *lph.Partitioner, cube []lph.Bounds) (Region, error) {
+	if len(cube) != p.K() {
+		return Region{}, fmt.Errorf("query: cube has %d dims, want %d", len(cube), p.K())
+	}
+	r := Region{Cube: make([]lph.Bounds, len(cube))}
+	for j, b := range cube {
+		bounds := p.Bounds(j)
+		lo, hi := bounds.Clamp(b.Lo), bounds.Clamp(b.Hi)
+		if hi < lo {
+			return Region{}, fmt.Errorf("query: empty range on dim %d: %+v", j, b)
+		}
+		r.Cube[j] = lph.Bounds{Lo: lo, Hi: hi}
+	}
+	for r.PreLen < lph.M {
+		subs := Split(p, r, r.PreLen+1)
+		if len(subs) != 1 {
+			break
+		}
+		r = subs[0]
+	}
+	return r, nil
+}
+
+// Split is Algorithm 4: divide region q at division number pos
+// (which must be q.PreLen+1 ≤ pos ≤ 64 for the prefix walk to be
+// meaningful; routing always calls it with pos = PreLen+1, surrogate
+// refinement with the first zero bit position). It returns one region
+// when the cube lies entirely in one half, or two (upper half first,
+// matching the paper's nq₁ with bit pos set) when it straddles the
+// midpoint.
+func Split(p *lph.Partitioner, q Region, pos int) []Region {
+	if pos < 1 || pos > lph.M {
+		panic(fmt.Sprintf("query: split position %d out of [1,64]", pos))
+	}
+	j := (pos - 1) % p.K()
+	mid := p.SplitMid(q.PreKey, pos)
+	switch {
+	case q.Cube[j].Lo > mid:
+		nq := q.Clone()
+		nq.PreKey = lph.SetBit(nq.PreKey, pos)
+		nq.PreLen = pos
+		return []Region{nq}
+	case q.Cube[j].Hi < mid:
+		nq := q.Clone()
+		nq.PreLen = pos
+		return []Region{nq}
+	default:
+		upper := q.Clone()
+		upper.Cube[j].Lo = mid
+		upper.PreKey = lph.SetBit(upper.PreKey, pos)
+		upper.PreLen = pos
+		lower := q.Clone()
+		lower.Cube[j].Hi = mid
+		lower.PreLen = pos
+		return []Region{upper, lower}
+	}
+}
+
+// Restrict clips the region's cube to the cuboid identified by
+// (prekey, prelen) and retags it. It returns false when the
+// intersection is empty. Surrogate refinement uses it to prune a
+// query to the portion a node covers.
+func Restrict(p *lph.Partitioner, q Region, prekey lph.Key, prelen int) (Region, bool) {
+	cu := p.Cuboid(prekey, prelen)
+	nq := q.Clone()
+	nq.PreKey = lph.Prefix(prekey, prelen)
+	nq.PreLen = prelen
+	for j := range nq.Cube {
+		if nq.Cube[j].Lo < cu[j].Lo {
+			nq.Cube[j].Lo = cu[j].Lo
+		}
+		if nq.Cube[j].Hi > cu[j].Hi {
+			nq.Cube[j].Hi = cu[j].Hi
+		}
+		if nq.Cube[j].Hi < nq.Cube[j].Lo {
+			return Region{}, false
+		}
+	}
+	return nq, true
+}
+
+// Leaves fully refines the region to depth lph.M and returns the leaf
+// prefix keys whose cuboids intersect the cube. This is the §3.3
+// "naive approach" building block and is exponential in the query
+// selectivity; maxLeaves bounds the expansion (0 = unlimited).
+func Leaves(p *lph.Partitioner, q Region, maxLeaves int) ([]lph.Key, error) {
+	var out []lph.Key
+	stack := []Region{q}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r.PreLen == lph.M {
+			out = append(out, r.PreKey)
+			if maxLeaves > 0 && len(out) > maxLeaves {
+				return nil, fmt.Errorf("query: region expands past %d leaves", maxLeaves)
+			}
+			continue
+		}
+		stack = append(stack, Split(p, r, r.PreLen+1)...)
+	}
+	return out, nil
+}

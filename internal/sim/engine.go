@@ -1,0 +1,179 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// It is the substitute for p2psim used by the paper's evaluation: a
+// virtual clock, a binary-heap event scheduler, and a seeded random
+// number generator. A single Engine is strictly single-threaded and
+// deterministic for a given seed; parallelism is obtained by running
+// independent engines (one per trial) on separate goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, measured as a duration since the
+// start of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events with equal time
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	rng       *rand.Rand
+	processed uint64
+	running   bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay of simulated time. A negative delay is
+// treated as zero. Events scheduled for the same instant run in FIFO
+// order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute simulated time at. Times in the past
+// are clamped to the present.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	e.Schedule(at-e.now, fn)
+}
+
+// Step executes the next pending event and returns true, or returns
+// false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events whose time is <= deadline; events scheduled
+// later remain queued and the clock is advanced to deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: RunUntil re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of simulated time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// String describes the engine state, for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, len(e.events), e.processed)
+}
+
+// Ticker repeatedly invokes fn every period until Stop is called or the
+// predicate returns false. It is the building block for protocol
+// maintenance timers (stabilize, fix-fingers, load probing).
+type Ticker struct {
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first invocation after
+// an initial offset (use offset = period for a plain ticker; a random
+// offset desynchronizes node timers). fn runs until Stop is called.
+func NewTicker(e *Engine, offset, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if !t.stopped {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(offset, tick)
+	return t
+}
+
+// Stop cancels future invocations. It is idempotent.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether the ticker has been stopped.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,175 @@
+package landmarkdht
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"landmarkdht/internal/chord"
+	"landmarkdht/internal/core"
+	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/sim"
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Nodes is the overlay size (default 128).
+	Nodes int
+	// Seed makes the whole simulation deterministic (default 1).
+	Seed int64
+	// MeanRTT calibrates the synthetic latency model (default 180 ms,
+	// the King dataset average the paper simulates).
+	MeanRTT time.Duration
+	// Successors is the Chord successor-list length (default 16).
+	Successors int
+	// DisablePNS turns off proximity neighbor selection.
+	DisablePNS bool
+	// WireCodec runs query/result messages through the real binary
+	// codec (quantized 2-byte range bounds per the paper's size model)
+	// instead of size accounting alone.
+	WireCodec bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MeanRTT <= 0 {
+		o.MeanRTT = 180 * time.Millisecond
+	}
+	if o.Successors <= 0 {
+		o.Successors = 16
+	}
+}
+
+// Platform is a simulated peer-to-peer deployment of the landmark
+// index architecture. It hosts any number of Index instances over one
+// overlay. A Platform (and its indexes) must be used from a single
+// goroutine: the discrete-event engine is not concurrent — run many
+// platforms in parallel instead.
+type Platform struct {
+	eng  *sim.Engine
+	sys  *core.System
+	rng  *rand.Rand
+	opts Options
+}
+
+// New builds a stabilized overlay of opts.Nodes nodes.
+func New(opts Options) (*Platform, error) {
+	opts.fillDefaults()
+	eng := sim.NewEngine(opts.Seed)
+	model, err := netmodel.NewSyntheticKing(netmodel.KingConfig{
+		N: opts.Nodes, MeanRTT: opts.MeanRTT, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Chord.NumSuccessors = opts.Successors
+	cfg.Chord.PNS = !opts.DisablePNS
+	cfg.EncodeWire = opts.WireCodec
+	sys := core.NewSystem(eng, model, cfg)
+	rng := rand.New(rand.NewSource(opts.Seed + 99))
+	used := map[chord.ID]bool{}
+	for i := 0; i < opts.Nodes; i++ {
+		id := chord.ID(rng.Uint64())
+		for used[id] {
+			id = chord.ID(rng.Uint64())
+		}
+		used[id] = true
+		if _, err := sys.AddNode(id, i); err != nil {
+			return nil, err
+		}
+	}
+	sys.Stabilize()
+	return &Platform{eng: eng, sys: sys, rng: rng, opts: opts}, nil
+}
+
+// Nodes returns the current overlay size.
+func (p *Platform) Nodes() int { return p.sys.Network().Size() }
+
+// Loads returns per-node index-entry counts in descending order.
+func (p *Platform) Loads() []int { return p.sys.Loads() }
+
+// Indexes lists the deployed index scheme names.
+func (p *Platform) Indexes() []string { return p.sys.IndexNames() }
+
+// LBConfig re-exports the §3.4 dynamic-load-migration knobs.
+type LBConfig = core.LBConfig
+
+// EnableLoadBalancing starts periodic load probing and migration.
+func (p *Platform) EnableLoadBalancing(cfg LBConfig) error {
+	return p.sys.EnableLoadBalancing(cfg)
+}
+
+// DisableLoadBalancing stops probing.
+func (p *Platform) DisableLoadBalancing() { p.sys.DisableLoadBalancing() }
+
+// Migrations reports completed and aborted load migrations.
+func (p *Platform) Migrations() (done, aborted int) { return p.sys.LBStats() }
+
+// Run advances the simulation by d of simulated time (useful to let
+// load balancing settle between searches).
+func (p *Platform) Run(d time.Duration) { p.eng.RunFor(d) }
+
+// Crash abruptly removes n random nodes (failure injection). Entries
+// they held are lost unless replicated; see Index.Replicate.
+func (p *Platform) Crash(n int) int {
+	crashed := 0
+	for i := 0; i < n; i++ {
+		nodes := p.sys.Nodes()
+		if len(nodes) <= 2 {
+			break
+		}
+		victim := nodes[p.rng.Intn(len(nodes))]
+		if err := p.sys.Network().CrashNode(victim.ID()); err != nil {
+			continue
+		}
+		p.sys.ForgetNode(victim.ID())
+		p.sys.Network().FixAround(victim.ID())
+		crashed++
+	}
+	return crashed
+}
+
+// Traffic summarizes overlay traffic since the platform started.
+type Traffic struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Traffic returns cumulative message and byte counts.
+func (p *Platform) Traffic() Traffic {
+	msgs, bytes := func() (int64, int64) {
+		tr := p.sys.Network().Traffic()
+		return tr.Total()
+	}()
+	return Traffic{Messages: msgs, Bytes: bytes}
+}
+
+// randomNode picks a live node as a query/publish source.
+func (p *Platform) randomNode() chord.ID {
+	nodes := p.sys.Nodes()
+	return nodes[p.rng.Intn(len(nodes))].ID()
+}
+
+// drive runs the engine until done reports true, extending the clock
+// in bounded steps so background timers (load balancing) cannot stall
+// completion detection.
+func (p *Platform) drive(done func() bool) error {
+	if done() {
+		return nil
+	}
+	deadline := p.eng.Now()
+	for tries := 0; tries < 600; tries++ {
+		deadline += time.Second
+		p.eng.RunUntil(deadline)
+		if done() {
+			return nil
+		}
+	}
+	return fmt.Errorf("landmarkdht: operation did not complete within 10 simulated minutes")
+}

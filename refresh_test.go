@@ -1,0 +1,107 @@
+package landmarkdht
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReindexWithNewLandmarks(t *testing.T) {
+	p, ix, data := buildIndex(t, 1000)
+	// Hand-picked landmarks far from the originals.
+	newLms := []Vector{data[1], data[100], data[500]}
+	trBefore := p.Traffic()
+	if err := ix.ReindexWith(newLms, nil); err != nil {
+		t.Fatal(err)
+	}
+	trAfter := p.Traffic()
+	if trAfter.Bytes <= trBefore.Bytes {
+		t.Fatal("reindex migration traffic not charged")
+	}
+	if len(ix.Landmarks()) != 3 {
+		t.Fatalf("landmarks = %d", len(ix.Landmarks()))
+	}
+	// Entry conservation and exactness after reindexing.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		q := data[rng.Intn(len(data))]
+		r := 5 + rng.Float64()*10
+		matches, _, err := ix.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range data {
+			if L2(q, v) <= r {
+				want++
+			}
+		}
+		if len(matches) != want {
+			t.Fatalf("post-reindex search: got %d, want %d", len(matches), want)
+		}
+	}
+}
+
+func TestReindexValidation(t *testing.T) {
+	_, ix, _ := buildIndex(t, 100)
+	if err := ix.ReindexWith(nil, nil); err == nil {
+		t.Fatal("expected error for empty landmark set")
+	}
+}
+
+func TestReindexUnboundedNeedsSample(t *testing.T) {
+	p, _ := New(Options{Nodes: 16, Seed: 4})
+	data := testData(200, 4, 9)
+	ix, err := AddIndex(p, Space[Vector]{Name: "raw", Dist: L2}, data, DenseMean,
+		IndexOptions{Landmarks: 3, SampleSize: 100, BoundaryFromSample: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.ReindexWith([]Vector{data[0], data[1]}, nil); err == nil {
+		t.Fatal("expected error: unbounded metric without a boundary sample")
+	}
+	if err := ix.ReindexWith([]Vector{data[0], data[1]}, data[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.RangeSearch(data[0], 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshLandmarksThreshold(t *testing.T) {
+	_, ix, data := buildIndex(t, 800)
+	// An absurd threshold: no refresh can beat it.
+	adopted, err := ix.RefreshLandmarks(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted {
+		t.Fatal("refresh adopted despite impossible threshold")
+	}
+	// A permissive threshold: some fresh sample should eventually win
+	// (negative threshold accepts any strictly positive spread ratio).
+	adoptedAny := false
+	for i := 0; i < 5 && !adoptedAny; i++ {
+		adoptedAny, err = ix.RefreshLandmarks(-0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !adoptedAny {
+		t.Skip("no fresh sample beat the incumbent (seed-dependent)")
+	}
+	// Searches remain exact after adoption.
+	q := data[5]
+	matches, _, err := ix.RangeSearch(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range data {
+		if L2(q, v) <= 10 {
+			want++
+		}
+	}
+	if len(matches) != want {
+		t.Fatalf("post-refresh search: got %d, want %d", len(matches), want)
+	}
+}

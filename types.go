@@ -1,0 +1,91 @@
+package landmarkdht
+
+import (
+	"landmarkdht/internal/landmark"
+	"landmarkdht/internal/metric"
+)
+
+// Re-exported metric-space vocabulary. The implementation lives in
+// internal packages; these aliases are the public names.
+
+// Vector is a dense point in a real vector space.
+type Vector = metric.Vector
+
+// SparseVector is a high-dimensional sparse term vector (documents).
+type SparseVector = metric.SparseVector
+
+// PointSet is a finite set of points (images under Hausdorff).
+type PointSet = metric.PointSet
+
+// IDSet is a finite id set (tags, shingles) under Jaccard distance.
+type IDSet = metric.IDSet
+
+// Distance is a black-box metric distance function.
+type Distance[T any] = metric.Distance[T]
+
+// Space is a named metric space with an optional distance bound.
+type Space[T any] = metric.Space[T]
+
+// Meaner computes a centroid for k-means landmark selection.
+type Meaner[T any] = landmark.Meaner[T]
+
+// Distance functions and space constructors.
+var (
+	// L2 is the Euclidean distance.
+	L2 = metric.L2
+	// L1 is the Manhattan (Hamilton) distance.
+	L1 = metric.L1
+	// LInf is the Chebyshev distance.
+	LInf = metric.LInf
+	// Edit is the Levenshtein edit distance over strings.
+	Edit = metric.Edit
+	// CosineAngle is the document angle distance arccos(cos θ).
+	CosineAngle = metric.CosineAngle
+	// Jaccard is the set distance 1 − |A∩B|/|A∪B|.
+	Jaccard = metric.Jaccard
+	// NewIDSet builds a normalized id set.
+	NewIDSet = metric.NewIDSet
+	// DenseMean averages dense vectors (k-means centroids).
+	DenseMean = landmark.DenseMean
+	// SparseMean averages sparse term vectors.
+	SparseMean = landmark.SparseMean
+)
+
+// EuclideanSpace returns a bounded L2 space over dim-dimensional
+// vectors with coordinates in [lo, hi].
+func EuclideanSpace(name string, dim int, lo, hi float64) Space[Vector] {
+	return metric.EuclideanSpace(name, dim, lo, hi)
+}
+
+// EditSpace returns the string space under edit distance, bounded by
+// the maximum string length in the dataset.
+func EditSpace(name string, maxLen int) Space[string] {
+	return metric.EditSpace(name, maxLen)
+}
+
+// CosineSpace returns the document space under the angle distance,
+// bounded by π/2.
+func CosineSpace(name string) Space[SparseVector] {
+	return metric.CosineSpace(name)
+}
+
+// HausdorffSpace returns a point-set space under the Hausdorff
+// distance with an L2 ground metric.
+func HausdorffSpace(name string, dim int, lo, hi float64) Space[PointSet] {
+	return metric.HausdorffSpace(name, dim, lo, hi)
+}
+
+// JaccardSpace returns the id-set space under Jaccard distance,
+// bounded by 1.
+func JaccardSpace(name string) Space[IDSet] {
+	return metric.JaccardSpace(name)
+}
+
+// NewSparseVector builds a sparse vector from (term, weight) pairs.
+func NewSparseVector(idx []uint32, val []float64) (SparseVector, error) {
+	return metric.NewSparseVector(idx, val)
+}
+
+// Bound wraps an unbounded metric with the paper's d/(1+d) transform,
+// yielding a metric bounded by 1 that preserves distance ordering.
+func Bound[T any](s Space[T]) Space[T] { return metric.Bound(s) }

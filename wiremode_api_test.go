@@ -1,0 +1,47 @@
+package landmarkdht
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWireCodecEndToEnd runs the public API with real binary message
+// encoding: result sets stay exact; reported distances may round up by
+// one quantum of the index's maximum distance.
+func TestWireCodecEndToEnd(t *testing.T) {
+	p, err := New(Options{Nodes: 48, Seed: 1, WireCodec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(1500, 8, 2)
+	ix, err := AddIndex(p, EuclideanSpace("vecs", 8, -100, 200), data, DenseMean,
+		IndexOptions{Landmarks: 4, SampleSize: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantum := ix.MaxDistance() / 65535 * 1.01
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		q := data[rng.Intn(len(data))]
+		r := 5 + rng.Float64()*10
+		matches, _, err := ix.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range data {
+			if L2(q, v) <= r {
+				want++
+			}
+		}
+		if len(matches) != want {
+			t.Fatalf("trial %d: got %d matches, want %d", trial, len(matches), want)
+		}
+		for _, m := range matches {
+			exact := L2(q, m.Object)
+			if m.Distance < exact-1e-9 || m.Distance-exact > quantum {
+				t.Fatalf("distance %v vs exact %v (quantum %v)", m.Distance, exact, quantum)
+			}
+		}
+	}
+}
