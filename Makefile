@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race vet bench experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -19,6 +19,10 @@ test:
 # Skips the multi-second integration experiments.
 test-short:
 	$(GO) test -short ./...
+
+# What CI runs: the race detector over the short suite.
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...

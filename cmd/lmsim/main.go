@@ -8,13 +8,15 @@
 //	lmsim -exp fig5 -nodes 512      # override individual knobs
 //
 // Experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 rotation naive
-// lbsweep ksweep pns churn mapping all.
+// lbsweep ksweep pns churn faults mapping all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"landmarkdht/internal/dataset"
@@ -23,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1 table2 fig2 fig3 fig4 fig5 fig6 rotation naive lbsweep ksweep pns churn mapping all")
+		exp     = flag.String("exp", "all", "experiment id: table1 table2 fig2 fig3 fig4 fig5 fig6 rotation naive lbsweep ksweep pns churn faults mapping all")
 		scaleNm = flag.String("scale", "small", "scale preset: bench, small, paper")
 		nodes   = flag.Int("nodes", 0, "override overlay size")
 		dataN   = flag.Int("data", 0, "override synthetic dataset size")
@@ -31,8 +33,23 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override random seed")
 		trials  = flag.Int("trials", 1, "repeat cell experiments (fig2/fig3/fig5/naive/ksweep) over N seeds and report mean±std")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON reports instead of tables")
+		lossArg = flag.String("loss", "0,0.05,0.1,0.2", "comma-separated message loss rates for -exp faults")
 	)
 	flag.Parse()
+
+	var losses []float64
+	for _, s := range strings.Split(*lossArg, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v >= 1 {
+			fmt.Fprintf(os.Stderr, "lmsim: bad loss rate %q (want 0 <= rate < 1)\n", s)
+			os.Exit(2)
+		}
+		losses = append(losses, v)
+	}
 
 	var scale harness.Scale
 	switch *scaleNm {
@@ -188,6 +205,16 @@ func main() {
 			}
 			harness.PrintChurn(os.Stdout, cells)
 			return nil
+		case "faults":
+			cells, err := harness.AblationFaults(scale, losses)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emit(&harness.Report{Experiment: id, Scale: scale, Faults: cells})
+			}
+			harness.PrintFaults(os.Stdout, cells)
+			return nil
 		case "pns":
 			return cellExperiment(id, "Ablation A5: proximity neighbor selection on/off", false, harness.AblationPNS)
 		default:
@@ -198,7 +225,7 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
-			"rotation", "naive", "lbsweep", "ksweep", "pns", "churn", "mapping"}
+			"rotation", "naive", "lbsweep", "ksweep", "pns", "churn", "faults", "mapping"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

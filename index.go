@@ -87,6 +87,9 @@ type SearchStats struct {
 	IndexNodes int
 	// Candidates is the pre-refinement candidate count.
 	Candidates int
+	// Retries is the number of retransmissions the reliability layer
+	// issued for this query.
+	Retries int
 }
 
 func searchStats(qs core.QueryStats) SearchStats {
@@ -100,6 +103,7 @@ func searchStats(qs core.QueryStats) SearchStats {
 		ResultBytes:    qs.ResultBytes,
 		IndexNodes:     qs.IndexNodes,
 		Candidates:     qs.Candidates,
+		Retries:        qs.Retries,
 	}
 }
 

@@ -1,0 +1,191 @@
+package chord
+
+import (
+	"testing"
+	"time"
+
+	"landmarkdht/internal/sim"
+)
+
+func TestFaultPlanDropRate(t *testing.T) {
+	cfg := DefaultConfig()
+	plan := NewFaultPlan().DropAll(0.2)
+	cfg.Faults = plan
+	eng, net, nodes := newTestNet(t, 16, cfg)
+	net.BuildAllTables()
+
+	const total = 5000
+	delivered, failed := 0, 0
+	for i := 0; i < total; i++ {
+		from := nodes[i%len(nodes)]
+		to := nodes[(i+1)%len(nodes)]
+		net.SendOrFail(from, to.ID(), KindQuery, 100,
+			func(*Node) { delivered++ }, func() { failed++ })
+	}
+	eng.Run()
+	if delivered+failed != total {
+		t.Fatalf("delivered %d + failed %d != %d sent", delivered, failed, total)
+	}
+	if failed != int(plan.Dropped[KindQuery]) {
+		t.Fatalf("failed callbacks %d != plan.Dropped %d", failed, plan.Dropped[KindQuery])
+	}
+	rate := float64(failed) / total
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("observed loss rate %.3f, want ~0.20", rate)
+	}
+}
+
+func TestFaultPlanDropIsPerKind(t *testing.T) {
+	cfg := DefaultConfig()
+	plan := NewFaultPlan().Drop(KindQuery, 1.0)
+	cfg.Faults = plan
+	eng, net, nodes := newTestNet(t, 4, cfg)
+	net.BuildAllTables()
+
+	queryOK, resultOK := 0, 0
+	for i := 0; i < 50; i++ {
+		net.SendOrFail(nodes[0], nodes[1].ID(), KindQuery, 10, func(*Node) { queryOK++ }, nil)
+		net.SendOrFail(nodes[0], nodes[1].ID(), KindResult, 10, func(*Node) { resultOK++ }, nil)
+	}
+	eng.Run()
+	if queryOK != 0 {
+		t.Fatalf("%d query messages delivered despite drop probability 1", queryOK)
+	}
+	if resultOK != 50 {
+		t.Fatalf("%d of 50 result messages delivered; other kinds must be unaffected", resultOK)
+	}
+	if plan.TotalDropped() != 50 {
+		t.Fatalf("TotalDropped = %d, want 50", plan.TotalDropped())
+	}
+}
+
+func TestFaultPlanPartitionWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	// Hosts 0 and 1 are cut off from the rest during [1s, 2s).
+	plan := NewFaultPlan().Partition([]int{0, 1}, time.Second, 2*time.Second)
+	cfg.Faults = plan
+	eng, net, nodes := newTestNet(t, 8, cfg)
+	net.BuildAllTables()
+
+	var beforeOK, insideCrossFail, insideSameOK, afterOK bool
+	send := func(from, to *Node, ok *bool, fail *bool) {
+		net.SendOrFail(from, to.ID(), KindQuery, 10,
+			func(*Node) {
+				if ok != nil {
+					*ok = true
+				}
+			},
+			func() {
+				if fail != nil {
+					*fail = true
+				}
+			})
+	}
+	// nodes[i] lives on host i (newTestNet adds them in host order).
+	send(nodes[0], nodes[5], &beforeOK, nil)
+	eng.Schedule(1500*time.Millisecond, func() {
+		send(nodes[0], nodes[5], nil, &insideCrossFail) // crosses the boundary
+		send(nodes[0], nodes[1], &insideSameOK, nil)    // both inside the group
+	})
+	eng.Schedule(2500*time.Millisecond, func() {
+		send(nodes[0], nodes[5], &afterOK, nil)
+	})
+	eng.Run()
+	if !beforeOK {
+		t.Fatal("message before the partition window was lost")
+	}
+	if !insideCrossFail {
+		t.Fatal("boundary-crossing message inside the window was delivered")
+	}
+	if !insideSameOK {
+		t.Fatal("intra-group message inside the window was lost")
+	}
+	if !afterOK {
+		t.Fatal("message after the partition window was lost")
+	}
+}
+
+func TestFaultPlanJitterDelaysDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = NewFaultPlan().Jitter(200 * time.Millisecond)
+	eng, net, nodes := newTestNet(t, 4, cfg)
+	net.BuildAllTables()
+
+	base := net.Latency(nodes[0], nodes[1])
+	sawExtra := false
+	for i := 0; i < 50; i++ {
+		sent := eng.Now()
+		done := false
+		net.SendOrFail(nodes[0], nodes[1].ID(), KindQuery, 10, func(*Node) {
+			if eng.Now()-sent > base {
+				sawExtra = true
+			}
+			done = true
+		}, nil)
+		eng.Run()
+		if !done {
+			t.Fatal("jittered message never delivered")
+		}
+	}
+	if !sawExtra {
+		t.Fatal("no message saw extra latency under 200ms jitter")
+	}
+}
+
+// CrashNode must lose in-flight messages FROM the crashed node; the
+// graceful RemoveNode must not (the departing process flushes them).
+func TestCrashLosesInflightMessages(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 8, DefaultConfig())
+	net.BuildAllTables()
+
+	// Crash case: sender dies while its message is in flight.
+	delivered, failed := false, false
+	net.SendOrFail(nodes[0], nodes[1].ID(), KindQuery, 10,
+		func(*Node) { delivered = true }, func() { failed = true })
+	if err := net.CrashNode(nodes[0].ID()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if delivered {
+		t.Fatal("message from a crashed sender was delivered")
+	}
+	if !failed {
+		t.Fatal("loss callback did not fire for the crashed sender's message")
+	}
+
+	// Graceful case: the leaver's in-flight message still arrives.
+	delivered, failed = false, false
+	net.SendOrFail(nodes[2], nodes[3].ID(), KindQuery, 10,
+		func(*Node) { delivered = true }, func() { failed = true })
+	if err := net.RemoveNode(nodes[2].ID()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !delivered || failed {
+		t.Fatalf("graceful leaver's message: delivered=%v failed=%v, want delivered", delivered, failed)
+	}
+}
+
+func TestTimerStopCancels(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fired := false
+	tm := eng.AfterFunc(time.Second, func() { fired = true })
+	eng.Schedule(500*time.Millisecond, func() { tm.Stop() })
+	eng.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if !tm.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+
+	fired = false
+	tm = eng.AfterFunc(time.Second, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("armed timer did not fire")
+	}
+	if !tm.Stopped() {
+		t.Fatal("Stopped() false after firing")
+	}
+}

@@ -25,6 +25,9 @@ const (
 	KindResult
 	// KindTransfer covers load-migration index transfers.
 	KindTransfer
+	// KindAck covers delivery acknowledgements of the reliable
+	// subquery-delivery layer.
+	KindAck
 	numKinds
 )
 
@@ -41,6 +44,8 @@ func (k MsgKind) String() string {
 		return "result"
 	case KindTransfer:
 		return "transfer"
+	case KindAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -82,6 +87,11 @@ type Config struct {
 	StabilizeEvery time.Duration
 	// MaintenanceBytes is the nominal size of one maintenance message.
 	MaintenanceBytes int
+	// Faults, when non-nil, injects deterministic message-level
+	// failures (loss, latency jitter/spikes, partitions) into every
+	// Send. Decisions are drawn from the engine RNG, so trials stay
+	// reproducible for a given seed.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -191,14 +201,24 @@ func (n *Network) RemoveNode(id ID) error {
 	return nil
 }
 
-// CrashNode removes a node abruptly: unlike a graceful leave, in-
-// flight messages to it are lost and no application handoff happens.
-// At the chord layer the effect is identical to RemoveNode; the
-// distinction matters to the application, which loses the node's
-// entries until re-publication. Routing state of other nodes is NOT
-// refreshed — stale fingers and successor entries are skipped by
-// liveness checks and repaired by stabilization or FixAround.
+// CrashNode removes a node abruptly. Unlike the graceful RemoveNode:
+//
+//   - in-flight messages *from* the crashed node are lost too (its
+//     process died with them; a graceful leaver's messages still
+//     arrive), and
+//   - no application handoff happens — the node's entries are gone
+//     until republished or covered by replicas.
+//
+// In-flight messages *to* the node are lost in both cases. Routing
+// state of other nodes is NOT refreshed — stale fingers and successor
+// entries are skipped by liveness checks and repaired by stabilization
+// or FixAround.
 func (n *Network) CrashNode(id ID) error {
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("chord: crash of unknown node %#x", id)
+	}
+	node.crashed = true
 	return n.RemoveNode(id)
 }
 
@@ -248,7 +268,8 @@ func (n *Network) Send(from *Node, to ID, kind MsgKind, bytes int, deliver func(
 
 // SendOrFail is Send with an explicit loss callback: failed runs (at
 // send time or at the would-be delivery time) when the destination is
-// unknown or departs while the message is in flight.
+// unknown, either endpoint crashes while the message is in flight, or
+// the network's FaultPlan drops the message.
 func (n *Network) SendOrFail(from *Node, to ID, kind MsgKind, bytes int, deliver func(dst *Node), failed func()) {
 	n.traffic.Add(kind, bytes)
 	dst, ok := n.nodes[to]
@@ -261,7 +282,28 @@ func (n *Network) SendOrFail(from *Node, to ID, kind MsgKind, bytes int, deliver
 		return
 	}
 	delay := n.model.Latency(from.host, dst.host)
+	if f := n.cfg.Faults; f != nil {
+		if f.lost(n.eng.Rand(), kind, from.host, dst.host, n.eng.Now()) {
+			// The loss surfaces at the would-be delivery time (not
+			// synchronously): a sender can only learn of it the way a
+			// real one would, by timeout — or, in the fire-and-forget
+			// accounting mode, through the failed callback.
+			if failed != nil {
+				n.eng.Schedule(delay, failed)
+			}
+			return
+		}
+		delay += f.extraDelay(n.eng.Rand())
+	}
 	n.eng.Schedule(delay, func() {
+		if from.crashed {
+			// The sender's process died while the message was in
+			// flight (CrashNode semantics); the message dies with it.
+			if failed != nil {
+				failed()
+			}
+			return
+		}
 		cur, ok := n.nodes[to]
 		if !ok || !cur.alive {
 			if failed != nil {

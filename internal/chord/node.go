@@ -13,6 +13,7 @@ type Node struct {
 	host int
 
 	alive       bool
+	crashed     bool
 	tablesBuilt bool
 	pred        ID
 	hasPred     bool
@@ -30,6 +31,11 @@ func (nd *Node) Host() int { return nd.host }
 
 // Alive reports whether the node is still part of the overlay.
 func (nd *Node) Alive() bool { return nd.alive }
+
+// Crashed reports whether the node left the overlay by crashing (as
+// opposed to a graceful leave). In-flight messages from a crashed node
+// are lost.
+func (nd *Node) Crashed() bool { return nd.crashed }
 
 // Network returns the overlay the node belongs to.
 func (nd *Node) Network() *Network { return nd.net }

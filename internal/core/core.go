@@ -98,6 +98,9 @@ type QueryStats struct {
 	// Candidates is the number of index entries that matched the
 	// query cube before exact refinement.
 	Candidates int
+	// Retries is the number of retransmissions the reliability layer
+	// issued for this query's subquery and result messages.
+	Retries int
 }
 
 // ResponseTime returns FirstResult - Issued.

@@ -29,12 +29,17 @@ type fixture struct {
 
 func buildFixture(t *testing.T, nNodes, nData, nLandmarks int, rotate bool) *fixture {
 	t.Helper()
+	return buildFixtureCfg(t, nNodes, nData, nLandmarks, rotate, DefaultConfig())
+}
+
+func buildFixtureCfg(t *testing.T, nNodes, nData, nLandmarks int, rotate bool, cfg Config) *fixture {
+	t.Helper()
 	eng := sim.NewEngine(1)
 	model, err := netmodel.NewSyntheticKing(netmodel.KingConfig{N: nNodes, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys := NewSystem(eng, model, DefaultConfig())
+	sys := NewSystem(eng, model, cfg)
 	rng := rand.New(rand.NewSource(2))
 	ids := make([]chord.ID, 0, nNodes)
 	used := map[chord.ID]bool{}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/chord"
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/metric"
+)
+
+// resultSet collects the returned object IDs for set comparison.
+func resultSet(qr *QueryResult) map[ObjectID]bool {
+	out := map[ObjectID]bool{}
+	for _, res := range qr.Results {
+		out[res.Obj] = true
+	}
+	return out
+}
+
+// With retries enabled, heavy injected loss must cost no recall: every
+// subquery and result eventually gets through, and the recovery
+// counters show the reliability layer did real work.
+func TestRetriesRecoverFromLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chord.Faults = chord.NewFaultPlan().DropAll(0.15)
+	cfg.Retry = RetryConfig{MaxRetries: 6}
+	f := buildFixtureCfg(t, 32, 2000, 3, false, cfg)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		q := f.data[rng.Intn(len(f.data))].Clone()
+		q[0] += rng.NormFloat64()
+		q[1] += rng.NormFloat64()
+		r := 2 + rng.Float64()*12
+		want := f.bruteRange(q, r)
+		got := resultSet(f.runRange(t, rng.Intn(32), q, r, QueryOpts{}))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d (r=%v)", trial, len(got), len(want), r)
+		}
+		for obj := range want {
+			if !got[obj] {
+				t.Fatalf("trial %d: missing object %d", trial, obj)
+			}
+		}
+	}
+	if f.sys.RecoveredSubqueries == 0 {
+		t.Fatal("15% loss produced zero recovered deliveries — retries never fired")
+	}
+	if f.sys.RetriesIssued < f.sys.RecoveredSubqueries {
+		t.Fatalf("RetriesIssued %d < RecoveredSubqueries %d", f.sys.RetriesIssued, f.sys.RecoveredSubqueries)
+	}
+	if f.sys.DroppedSubqueries != 0 {
+		t.Fatalf("%d subqueries dropped for good despite retries", f.sys.DroppedSubqueries)
+	}
+	if f.sys.cfg.Chord.Faults.TotalDropped() == 0 {
+		t.Fatal("fault plan dropped nothing — test exercised no loss")
+	}
+}
+
+// The fire-and-forget contrast: the same loss rate with retries
+// disabled permanently drops subqueries (queries still terminate —
+// the loss callback keeps the pending count finite).
+func TestFireAndForgetDropsUnderLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chord.Faults = chord.NewFaultPlan().DropAll(0.15)
+	f := buildFixtureCfg(t, 32, 2000, 3, false, cfg)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		q := f.data[rng.Intn(len(f.data))].Clone()
+		q[0] += rng.NormFloat64()
+		q[1] += rng.NormFloat64()
+		r := 2 + rng.Float64()*12
+		// Must terminate despite losses; results may be incomplete.
+		f.runRange(t, rng.Intn(32), q, r, QueryOpts{})
+	}
+	if f.sys.DroppedSubqueries == 0 {
+		t.Fatal("15% loss with no retries dropped zero subqueries")
+	}
+	if f.sys.RetriesIssued != 0 || f.sys.RecoveredSubqueries != 0 {
+		t.Fatalf("retry counters moved (%d issued, %d recovered) with retries disabled",
+			f.sys.RetriesIssued, f.sys.RecoveredSubqueries)
+	}
+}
+
+// regionKey returns the ring position owning q's index entry.
+func (f *fixture) regionKey(t *testing.T, q metric.Vector) lph.Key {
+	t.Helper()
+	ix, err := f.sys.lookupIndex("test-l2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix.Part.Ring(ix.Part.Hash(f.emb.Map(q)))
+}
+
+// liveSource picks a deterministic live query source.
+func (f *fixture) liveSource() chord.ID {
+	return f.sys.Nodes()[0].ID()
+}
+
+// Crashing the primary for a key must cost no recall when the index is
+// replicated: CrashNode repairs the replica placement onto the new
+// successor set, so the first replica answers in the primary's place.
+// Repeatedly — each crash is followed by an automatic repair that
+// restores the full replication factor.
+func TestCrashPrimaryReplicaAnswers(t *testing.T) {
+	f := buildFixture(t, 48, 3000, 3, false)
+	if err := f.sys.ReplicateAll("test-l2", 3); err != nil {
+		t.Fatal(err)
+	}
+	q := f.data[10]
+	r := 6.0
+	want := f.bruteRange(q, r)
+	key := f.regionKey(t, q)
+
+	check := func(round int) {
+		var out *QueryResult
+		err := f.sys.RangeQuery("test-l2", f.liveSource(), q, f.emb.Map(q), r, QueryOpts{}, func(qr *QueryResult) { out = qr })
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.eng.Run()
+		if out == nil {
+			t.Fatalf("round %d: query did not complete", round)
+		}
+		got := resultSet(out)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: got %d results, want %d", round, len(got), len(want))
+		}
+		for obj := range want {
+			if !got[obj] {
+				t.Fatalf("round %d: missing object %d", round, obj)
+			}
+		}
+	}
+
+	check(0)
+	// Crash four successive primaries of the query's home region. With
+	// automatic repair this can continue far past the replication
+	// factor — each crash re-establishes 3 live copies.
+	for round := 1; round <= 4; round++ {
+		owner, err := f.sys.net.SuccessorNode(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.sys.CrashNode(owner.ID()); err != nil {
+			t.Fatal(err)
+		}
+		check(round)
+	}
+}
+
+// Loss, retries, replication, and mid-query primary crashes together:
+// the subquery aimed at a dying primary times out, fails over to the
+// repaired successor, and the query still returns exact results.
+func TestRetryFailoverToReplicaUnderChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chord.Faults = chord.NewFaultPlan().DropAll(0.10)
+	cfg.Retry = RetryConfig{MaxRetries: 5}
+	f := buildFixtureCfg(t, 48, 3000, 3, false, cfg)
+	if err := f.sys.ReplicateAll("test-l2", 3); err != nil {
+		t.Fatal(err)
+	}
+	q := f.data[42]
+	r := 8.0
+	want := f.bruteRange(q, r)
+	key := f.regionKey(t, q)
+
+	for round := 0; round < 3; round++ {
+		var out *QueryResult
+		err := f.sys.RangeQuery("test-l2", f.liveSource(), q, f.emb.Map(q), r, QueryOpts{}, func(qr *QueryResult) { out = qr })
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Kill the region's current primary while the query is in
+		// flight; its repair runs synchronously at the crash instant.
+		f.eng.Schedule(30*time.Millisecond, func() {
+			owner, err := f.sys.net.SuccessorNode(key)
+			if err != nil {
+				return
+			}
+			if owner.ID() == f.liveSource() {
+				return // keep the querier alive
+			}
+			_ = f.sys.CrashNode(owner.ID())
+		})
+		f.eng.Run()
+		if out == nil {
+			t.Fatalf("round %d: query did not complete", round)
+		}
+		got := resultSet(out)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: got %d results, want %d", round, len(got), len(want))
+		}
+		for obj := range want {
+			if !got[obj] {
+				t.Fatalf("round %d: missing object %d", round, obj)
+			}
+		}
+	}
+	if f.sys.DroppedSubqueries != 0 {
+		t.Fatalf("%d subqueries dropped for good despite retries + replication", f.sys.DroppedSubqueries)
+	}
+	if f.sys.RecoveredSubqueries == 0 {
+		t.Fatal("no recovered deliveries under 10% loss + crashes")
+	}
+}
+
+// ReplicateAll must be idempotent: a second invocation is a no-op —
+// same entry placement, no additional transfer traffic.
+func TestReplicateAllIdempotent(t *testing.T) {
+	f := buildFixture(t, 32, 2000, 3, false)
+	if err := f.sys.ReplicateAll("test-l2", 3); err != nil {
+		t.Fatal(err)
+	}
+	entries := f.sys.TotalEntries()
+	if entries != 3*2000 {
+		t.Fatalf("entries after first ReplicateAll = %d, want %d", entries, 3*2000)
+	}
+	transfer := f.sys.Network().Traffic().Bytes[chord.KindTransfer]
+	if transfer == 0 {
+		t.Fatal("first ReplicateAll charged no transfer traffic")
+	}
+	if err := f.sys.ReplicateAll("test-l2", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.sys.TotalEntries(); got != entries {
+		t.Fatalf("second ReplicateAll changed entry count: %d -> %d", entries, got)
+	}
+	if got := f.sys.Network().Traffic().Bytes[chord.KindTransfer]; got != transfer {
+		t.Fatalf("second ReplicateAll charged %d extra transfer bytes", got-transfer)
+	}
+}
+
+// faultRun drives one full scenario — loss + jitter + spikes + retries
+// + scheduled crashes — and returns a fingerprint of everything
+// observable: per-query result sets, reliability counters, traffic,
+// and the final simulated clock.
+func faultRun(t *testing.T) string {
+	t.Helper()
+	cfg := DefaultConfig()
+	// Each run needs its own FaultPlan: the plan carries mutable drop
+	// counters.
+	cfg.Chord.Faults = chord.NewFaultPlan().DropAll(0.10).Jitter(30*time.Millisecond).Spike(0.01, 300*time.Millisecond)
+	cfg.Retry = RetryConfig{MaxRetries: 4}
+	f := buildFixtureCfg(t, 32, 2000, 3, false, cfg)
+	if err := f.sys.ReplicateAll("test-l2", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var fp string
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		q := f.data[rng.Intn(len(f.data))].Clone()
+		q[0] += rng.NormFloat64()
+		r := 2 + rng.Float64()*10
+		var out *QueryResult
+		err := f.sys.RangeQuery("test-l2", f.liveSource(), q, f.emb.Map(q), r, QueryOpts{}, func(qr *QueryResult) { out = qr })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 3 || trial == 7 {
+			// Crash the 5th node in ring order mid-query — identical
+			// victim selection in both runs.
+			f.eng.Schedule(40*time.Millisecond, func() {
+				nodes := f.sys.Nodes()
+				victim := nodes[5]
+				if victim.ID() == f.liveSource() {
+					victim = nodes[6]
+				}
+				_ = f.sys.CrashNode(victim.ID())
+			})
+		}
+		f.eng.Run()
+		if out == nil {
+			t.Fatalf("trial %d: query did not complete", trial)
+		}
+		objs := make([]int, 0, len(out.Results))
+		for _, res := range out.Results {
+			objs = append(objs, int(res.Obj))
+		}
+		sort.Ints(objs)
+		fp += fmt.Sprintf("q%d:%v hops=%d retries=%d\n", trial, objs, out.Stats.Hops, out.Stats.Retries)
+	}
+	tr := f.sys.Network().Traffic()
+	fp += fmt.Sprintf("dropped=%d retrans=%d recovered=%d faultdrops=%d traffic=%v now=%d\n",
+		f.sys.DroppedSubqueries, f.sys.RetriesIssued, f.sys.RecoveredSubqueries,
+		f.sys.cfg.Chord.Faults.TotalDropped(), tr, f.eng.Now())
+	return fp
+}
+
+// Two runs with the same seed and an active fault plan must be
+// byte-identical — the whole fault layer draws from the engine RNG.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	a := faultRun(t)
+	b := faultRun(t)
+	if a != b {
+		t.Fatalf("same-seed fault runs diverged:\n--- run A ---\n%s--- run B ---\n%s", a, b)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/lph"
@@ -25,10 +26,12 @@ import (
 // deployment. Replicated entries count toward the paper's load measure
 // on every holder.
 
-// ReplicateAll re-places every currently stored primary entry onto the
-// next replicas-1 successors of its key. Call after bulk loading (or
-// again after membership changes to repair replica sets). replicas
-// counts total copies including the primary.
+// ReplicateAll establishes the replica placement for every currently
+// stored entry of an index and registers the index for automatic repair
+// (RepairReplicas / System.CrashNode / System.JoinNode). Call after
+// bulk loading. replicas counts total copies including the primary.
+// The call is idempotent: repeating it (or calling it after a repair)
+// moves nothing and charges no transfer traffic.
 func (s *System) ReplicateAll(indexName string, replicas int) error {
 	if _, err := s.lookupIndex(indexName); err != nil {
 		return err
@@ -43,44 +46,102 @@ func (s *System) ReplicateAll(indexName string, replicas int) error {
 		return fmt.Errorf("core: %d replicas exceed the successor-list length %d",
 			replicas, s.cfg.Chord.NumSuccessors)
 	}
-	// Snapshot primaries first: only entries whose key this node owns
-	// are primaries; earlier replicas must not cascade.
-	type placement struct {
-		node *IndexNode
-		key  lph.Key
-		e    Entry
+	s.replicated[indexName] = replicas
+	s.repairIndex(indexName, replicas)
+	return nil
+}
+
+// RepairReplicas re-establishes the registered replica placements after
+// a membership change: missing copies (lost with a crashed holder) are
+// restored from the survivors, stale copies (holders that fell out of a
+// key's successor set after a join) are removed.
+func (s *System) RepairReplicas() {
+	names := make([]string, 0, len(s.replicated))
+	for name := range s.replicated {
+		names = append(names, name)
 	}
-	var extra []placement
-	for _, in := range s.Nodes() {
+	sort.Strings(names)
+	for _, name := range names {
+		s.repairIndex(name, s.replicated[name])
+	}
+}
+
+// repairIndex recomputes the full replica placement for one index and
+// rebuilds every node's store to exactly that placement: the union of
+// surviving copies, deduplicated by (key, object), goes on each key's
+// current successor — the primary — and the next replicas-1 distinct
+// live successors. Only copies a node did not already hold are charged
+// as transfer traffic, which makes the pass idempotent by construction.
+func (s *System) repairIndex(indexName string, replicas int) {
+	type kobj struct {
+		key lph.Key
+		obj ObjectID
+	}
+	// Union of surviving copies, in ring-order node iteration for
+	// deterministic placement; remember what each node already holds.
+	seen := make(map[kobj]bool)
+	var keys []lph.Key
+	var entries []Entry
+	have := make(map[chord.ID]map[kobj]bool)
+	nodes := s.Nodes()
+	for _, in := range nodes {
 		st, ok := in.stores[indexName]
 		if !ok {
 			continue
 		}
+		h := make(map[kobj]bool, len(st.keys))
 		for i, key := range st.keys {
-			if !in.node.OwnsKey(key) {
-				continue // already a replica copy
+			ko := kobj{key, st.entries[i].Obj}
+			h[ko] = true
+			if !seen[ko] {
+				seen[ko] = true
+				keys = append(keys, key)
+				entries = append(entries, st.entries[i])
 			}
-			succs := in.node.SuccessorList()
-			placed := map[chord.ID]bool{in.ID(): true}
-			for _, succ := range succs {
-				if len(placed) >= replicas {
-					break
-				}
-				if placed[succ] {
-					continue
-				}
-				placed[succ] = true
-				if rn := s.nodes[succ]; rn != nil {
-					extra = append(extra, placement{rn, key, st.entries[i]})
-				}
+		}
+		have[in.ID()] = h
+	}
+	desired := make(map[chord.ID][]int) // node -> indices into keys/entries
+	added := 0
+	for i, key := range keys {
+		owner, err := s.net.SuccessorNode(key)
+		if err != nil {
+			continue // empty ring: nowhere to place
+		}
+		ko := kobj{key, entries[i].Obj}
+		placed := map[chord.ID]bool{owner.ID(): true}
+		targets := []chord.ID{owner.ID()}
+		for _, succ := range owner.SuccessorList() {
+			if len(targets) >= replicas {
+				break
+			}
+			if placed[succ] || s.nodes[succ] == nil {
+				continue
+			}
+			placed[succ] = true
+			targets = append(targets, succ)
+		}
+		for _, t := range targets {
+			desired[t] = append(desired[t], i)
+			if !have[t][ko] {
+				added++
 			}
 		}
 	}
-	for _, p := range extra {
-		p.node.store(indexName).add(p.key, p.e)
-		s.chargeTransfer(1)
+	for _, in := range nodes {
+		want := desired[in.ID()]
+		if len(want) == 0 {
+			delete(in.stores, indexName)
+			continue
+		}
+		st := in.store(indexName)
+		st.keys = st.keys[:0]
+		st.entries = st.entries[:0]
+		for _, i := range want {
+			st.add(keys[i], entries[i])
+		}
 	}
-	return nil
+	s.chargeTransfer(added)
 }
 
 // EnableLoadBalancing is extended to refuse replicated deployments —

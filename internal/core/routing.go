@@ -143,6 +143,15 @@ func (s *System) routeAt(n *IndexNode, aq *activeQuery, q query.Region, hops int
 	s.dispatch(n, aq, list, hops)
 }
 
+// sqUnit tracks one subquery region across delivery attempts. The
+// delivered flag makes the receive path idempotent: duplicates caused
+// by premature timeouts or lost acknowledgements are ignored, so
+// aq.pending is decremented exactly once per unit.
+type sqUnit struct {
+	reg       query.Region
+	delivered bool
+}
+
 // dispatch groups subqueries by destination and ships each group as a
 // single query message (the byte model charges per subquery).
 func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, hops int) {
@@ -150,7 +159,7 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 		id        chord.ID
 		surrogate bool
 	}
-	groups := make(map[destKey][]query.Region)
+	groups := make(map[destKey][]*sqUnit)
 	var order []destKey // deterministic dispatch order
 	for _, sq := range list {
 		rk := s.ring(aq, sq.PreKey)
@@ -171,61 +180,164 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 		if _, seen := groups[d]; !seen {
 			order = append(order, d)
 		}
-		groups[d] = append(groups[d], sq)
+		groups[d] = append(groups[d], &sqUnit{reg: sq})
 	}
 	for _, d := range order {
-		sqs := groups[d]
-		var bytes int
-		var payload []byte
-		if s.cfg.EncodeWire {
-			// Real binary encoding: the receiver works on the decoded
-			// (quantization-widened) cubes.
-			data, err := wire.EncodeQuery(aq.ix.Part, wire.QueryMessage{
-				Source:     uint32(aq.srcID),
-				Subqueries: sqs,
-			})
-			if err != nil {
-				for range sqs {
-					s.dropSubquery(aq)
-				}
-				continue
-			}
-			payload, bytes = data, len(data)
-		} else {
-			bytes = s.cfg.Msg.QueryMsgBytes(len(sqs), aq.ix.Part.K())
+		s.ship(n, aq, d.id, d.surrogate, groups[d], hops, 0)
+	}
+}
+
+// ship transmits one query message carrying the given subquery units to
+// dest. Attempt 0 is the original transmission. With the reliability
+// layer off this is fire-and-forget: a loss surfaces through the failed
+// callback and the units are dropped. With it on, the receiver
+// acknowledges the message; if the ack does not arrive within the
+// retransmission timeout, shipTimeout re-resolves each still-undelivered
+// unit's owner and retransmits with exponential backoff.
+func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bool, units []*sqUnit, hops, attempt int) {
+	live := units[:0:0]
+	for _, u := range units {
+		if !u.delivered {
+			live = append(live, u)
 		}
-		aq.stats.QueryMsgs++
-		aq.stats.QueryBytes += int64(bytes)
-		for _, sq := range sqs {
-			aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceForward,
-				PreKey: sq.PreKey, PreLen: sq.PreLen, Hops: hops, Dest: d.id})
-		}
-		d := d
-		s.net.SendOrFail(n.node, d.id, chord.KindQuery, bytes, func(dst *chord.Node) {
-			in := s.nodes[dst.ID()]
-			use := sqs
-			if payload != nil {
-				decoded, err := wire.DecodeQuery(aq.ix.Part, payload)
-				if err != nil {
-					for range sqs {
-						s.dropSubquery(aq)
-					}
-					return
-				}
-				use = decoded.Subqueries
-			}
-			for _, sq := range use {
-				if d.surrogate {
-					s.surrogateRefine(in, aq, sq, hops+1)
-				} else {
-					s.routeAt(in, aq, sq, hops+1)
-				}
-			}
-		}, func() {
-			for range sqs {
+	}
+	if len(live) == 0 {
+		return
+	}
+	regions := make([]query.Region, len(live))
+	for i, u := range live {
+		regions[i] = u.reg
+	}
+	var bytes int
+	var payload []byte
+	if s.cfg.EncodeWire {
+		// Real binary encoding: the receiver works on the decoded
+		// (quantization-widened) cubes.
+		data, err := wire.EncodeQuery(aq.ix.Part, wire.QueryMessage{
+			Source:     uint32(aq.srcID),
+			Subqueries: regions,
+		})
+		if err != nil {
+			for _, u := range live {
+				u.delivered = true
 				s.dropSubquery(aq)
 			}
+			return
+		}
+		payload, bytes = data, len(data)
+	} else {
+		bytes = s.cfg.Msg.QueryMsgBytes(len(live), aq.ix.Part.K())
+	}
+	aq.stats.QueryMsgs++
+	aq.stats.QueryBytes += int64(bytes)
+	action := TraceForward
+	if attempt > 0 {
+		action = TraceRetry
+		s.RetriesIssued++
+		aq.stats.Retries++
+	}
+	for _, u := range live {
+		aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: action,
+			PreKey: u.reg.PreKey, PreLen: u.reg.PreLen, Hops: hops, Dest: dest})
+	}
+	deliver := func(dst *chord.Node) {
+		in := s.nodes[dst.ID()]
+		use := regions
+		if payload != nil {
+			decoded, err := wire.DecodeQuery(aq.ix.Part, payload)
+			if err != nil {
+				for _, u := range live {
+					if !u.delivered {
+						u.delivered = true
+						s.dropSubquery(aq)
+					}
+				}
+				return
+			}
+			use = decoded.Subqueries
+		}
+		for i, u := range live {
+			if u.delivered {
+				continue // duplicate of an already-processed unit
+			}
+			u.delivered = true
+			if attempt > 0 {
+				s.RecoveredSubqueries++
+			}
+			if surrogate {
+				s.surrogateRefine(in, aq, use[i], hops+1)
+			} else {
+				s.routeAt(in, aq, use[i], hops+1)
+			}
+		}
+	}
+	if !s.cfg.Retry.Enabled() {
+		s.net.SendOrFail(n.node, dest, chord.KindQuery, bytes, deliver, func() {
+			for _, u := range live {
+				if !u.delivered {
+					u.delivered = true
+					s.dropSubquery(aq)
+				}
+			}
 		})
+		return
+	}
+	timer := s.eng.AfterFunc(s.retryTimeout(attempt), func() {
+		s.shipTimeout(n, aq, live, hops, attempt)
+	})
+	s.net.SendOrFail(n.node, dest, chord.KindQuery, bytes, func(dst *chord.Node) {
+		// Acknowledge first (duplicates too: the sender's timer must
+		// stop either way), then process the undelivered units.
+		s.net.SendOrFail(dst, n.node.ID(), chord.KindAck, s.cfg.Retry.AckBytes, func(*chord.Node) {
+			timer.Stop()
+		}, nil)
+		deliver(dst)
+	}, nil)
+}
+
+// shipTimeout runs when a query message's ack timer fires: any units
+// still undelivered are re-resolved to the current successor of their
+// prefix key — under ReplicateAll placement, the first live replica of
+// a crashed owner — and retransmitted, or dropped once retries are
+// exhausted (or the sender itself died).
+func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hops, attempt int) {
+	var remaining []*sqUnit
+	for _, u := range units {
+		if !u.delivered {
+			remaining = append(remaining, u)
+		}
+	}
+	if len(remaining) == 0 {
+		return
+	}
+	if attempt >= s.cfg.Retry.MaxRetries || !n.node.Alive() {
+		for _, u := range remaining {
+			u.delivered = true
+			aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceDrop,
+				PreKey: u.reg.PreKey, PreLen: u.reg.PreLen, Hops: hops})
+			s.dropSubquery(aq)
+		}
+		return
+	}
+	// The successor of the prefix key owns it, so the retransmission is
+	// delivered in surrogate mode regardless of how the original was
+	// routed.
+	groups := make(map[chord.ID][]*sqUnit)
+	var order []chord.ID // deterministic retransmission order
+	for _, u := range remaining {
+		owner, err := s.net.SuccessorID(s.ring(aq, u.reg.PreKey))
+		if err != nil {
+			u.delivered = true
+			s.dropSubquery(aq)
+			continue
+		}
+		if _, seen := groups[owner]; !seen {
+			order = append(order, owner)
+		}
+		groups[owner] = append(groups[owner], u)
+	}
+	for _, dest := range order {
+		s.ship(n, aq, dest, true, groups[dest], hops, attempt+1)
 	}
 }
 
@@ -330,12 +442,59 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 	}
 	aq.stats.ResultMsgs++
 	aq.stats.ResultBytes += int64(bytes)
+	if s.cfg.Retry.Enabled() {
+		s.sendResultReliably(n, aq, nodeID, local, bytes)
+		return
+	}
 	s.net.SendOrFail(n.node, aq.srcID, chord.KindResult, bytes, func(*chord.Node) {
 		s.mergeResult(aq, nodeID, local)
 	}, func() {
 		// The querier itself left (only possible under heavy churn).
 		s.dropSubquery(aq)
 	})
+}
+
+// sendResultReliably ships one result message to the querier with the
+// ack/timeout/retry state machine. Unlike subqueries the destination is
+// fixed — a result only makes sense at the querier — so exhausted
+// retries (the querier or the answering node died) surface as a dropped
+// subquery.
+func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID, local []Result, bytes int) {
+	delivered := false
+	var send func(attempt int)
+	send = func(attempt int) {
+		if attempt > 0 {
+			s.RetriesIssued++
+			aq.stats.Retries++
+			aq.stats.ResultMsgs++
+			aq.stats.ResultBytes += int64(bytes)
+		}
+		timer := s.eng.AfterFunc(s.retryTimeout(attempt), func() {
+			if delivered {
+				return
+			}
+			if attempt >= s.cfg.Retry.MaxRetries || !n.node.Alive() {
+				delivered = true
+				s.dropSubquery(aq)
+				return
+			}
+			send(attempt + 1)
+		})
+		s.net.SendOrFail(n.node, aq.srcID, chord.KindResult, bytes, func(dst *chord.Node) {
+			s.net.SendOrFail(dst, n.node.ID(), chord.KindAck, s.cfg.Retry.AckBytes, func(*chord.Node) {
+				timer.Stop()
+			}, nil)
+			if delivered {
+				return // duplicate from a premature timeout
+			}
+			delivered = true
+			if attempt > 0 {
+				s.RecoveredSubqueries++
+			}
+			s.mergeResult(aq, from, local)
+		}, nil)
+	}
+	send(0)
 }
 
 // mergeResult runs at the querier when one index node's answer

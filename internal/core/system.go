@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/lph"
@@ -28,6 +29,49 @@ type Config struct {
 	// transit (widened, so exactness of result sets is preserved) and
 	// result distances are quantized against Index.MaxDist.
 	EncodeWire bool
+	// Retry configures reliable subquery/result delivery. The zero
+	// value disables it, preserving the paper's fire-and-forget
+	// behavior (lost subqueries surface as recall loss).
+	Retry RetryConfig
+}
+
+// RetryConfig tunes the reliable-delivery layer: every subquery and
+// result message is acknowledged by its receiver; a sender that sees
+// no ack within the timeout re-resolves the destination (failing over
+// to the region's current successor — under ReplicateAll placement,
+// the first live replica) and retransmits with exponential backoff.
+type RetryConfig struct {
+	// MaxRetries bounds retransmissions per message; 0 disables the
+	// reliability layer entirely.
+	MaxRetries int
+	// Timeout is the initial retransmission timeout (default 1s,
+	// several times the simulated mean RTT). A timeout shorter than
+	// the path RTT only costs duplicate messages: receivers
+	// deduplicate delivered subqueries.
+	Timeout time.Duration
+	// Backoff multiplies the timeout after each attempt (default 2).
+	Backoff float64
+	// AckBytes is the size of an acknowledgement message (default 20,
+	// a bare packet header in the paper's size model).
+	AckBytes int
+}
+
+// Enabled reports whether the reliability layer is active.
+func (rc RetryConfig) Enabled() bool { return rc.MaxRetries > 0 }
+
+func (rc *RetryConfig) fillDefaults() {
+	if !rc.Enabled() {
+		return
+	}
+	if rc.Timeout <= 0 {
+		rc.Timeout = time.Second
+	}
+	if rc.Backoff < 1 {
+		rc.Backoff = 2
+	}
+	if rc.AckBytes <= 0 {
+		rc.AckBytes = 20
+	}
 }
 
 // DefaultConfig returns the paper's simulation parameters.
@@ -50,9 +94,21 @@ type System struct {
 	index map[string]*Index
 	nextQ int
 	lb    *lbController
+	// replicated maps index names to their ReplicateAll replica counts;
+	// RepairReplicas re-establishes these placements after membership
+	// changes.
+	replicated map[string]int
 	// DroppedSubqueries counts subqueries lost to in-flight node
-	// departures (visible recall loss under churn).
+	// departures, injected message loss, or exhausted retries (visible
+	// recall loss under churn).
 	DroppedSubqueries int
+	// RetriesIssued counts retransmitted messages (query or result)
+	// sent by the reliability layer.
+	RetriesIssued int
+	// RecoveredSubqueries counts subqueries and result messages whose
+	// delivery succeeded on a retransmission — losses that would have
+	// been recall loss without the reliability layer.
+	RecoveredSubqueries int
 }
 
 // IndexNode is the per-node application state: the index entries this
@@ -75,12 +131,14 @@ func NewSystem(eng *sim.Engine, model netmodel.Model, cfg Config) *System {
 	if cfg.Msg == (MessageModel{}) {
 		cfg.Msg = DefaultMessageModel()
 	}
+	cfg.Retry.fillDefaults()
 	return &System{
-		eng:   eng,
-		net:   chord.NewNetwork(eng, model, cfg.Chord),
-		cfg:   cfg,
-		nodes: make(map[chord.ID]*IndexNode),
-		index: make(map[string]*Index),
+		eng:        eng,
+		net:        chord.NewNetwork(eng, model, cfg.Chord),
+		cfg:        cfg,
+		nodes:      make(map[chord.ID]*IndexNode),
+		index:      make(map[string]*Index),
+		replicated: make(map[string]int),
 	}
 }
 
@@ -210,6 +268,10 @@ func (s *System) Publish(indexName string, srcID chord.ID, e Entry, done func(ow
 	lookupBytes := 40
 	src.node.FindSuccessor(key, lookupBytes, func(owner chord.ID, hops int) {
 		entryBytes := s.cfg.Msg.TransferBytes(1)
+		if s.cfg.Retry.Enabled() {
+			s.publishReliably(src, owner, key, indexName, e, entryBytes, hops, done)
+			return
+		}
 		s.net.SendOrFail(src.node, owner, chord.KindLookup, entryBytes, func(dst *chord.Node) {
 			s.nodes[dst.ID()].store(indexName).add(key, e)
 			if done != nil {
@@ -229,6 +291,50 @@ func (s *System) Publish(indexName string, srcID chord.ID, e Entry, done func(ow
 		})
 	})
 	return nil
+}
+
+// publishReliably delivers a published entry with the ack/timeout/retry
+// state machine: the receiver acknowledges storing the entry; a sender
+// seeing no ack within the timeout re-resolves the key's current owner
+// and retransmits with exponential backoff, up to MaxRetries.
+func (s *System) publishReliably(src *IndexNode, owner chord.ID, key lph.Key, indexName string, e Entry, entryBytes, hops int, done func(chord.ID, int)) {
+	delivered := false
+	var send func(dest chord.ID, attempt int)
+	send = func(dest chord.ID, attempt int) {
+		if attempt > 0 {
+			s.RetriesIssued++
+		}
+		timer := s.eng.AfterFunc(s.retryTimeout(attempt), func() {
+			if delivered || !src.node.Alive() {
+				return
+			}
+			if attempt >= s.cfg.Retry.MaxRetries {
+				return // entry lost: retries exhausted
+			}
+			cur, err := s.net.SuccessorID(key)
+			if err != nil {
+				return
+			}
+			send(cur, attempt+1)
+		})
+		s.net.SendOrFail(src.node, dest, chord.KindLookup, entryBytes, func(dst *chord.Node) {
+			s.net.SendOrFail(dst, src.node.ID(), chord.KindAck, s.cfg.Retry.AckBytes, func(*chord.Node) {
+				timer.Stop()
+			}, nil)
+			if delivered {
+				return // duplicate from a premature timeout
+			}
+			delivered = true
+			if attempt > 0 {
+				s.RecoveredSubqueries++
+			}
+			s.nodes[dst.ID()].store(indexName).add(key, e)
+			if done != nil {
+				done(dst.ID(), hops+1)
+			}
+		}, nil)
+	}
+	send(owner, 0)
 }
 
 // store returns (creating on demand) the node's store for a scheme.
@@ -260,6 +366,46 @@ func (in *IndexNode) Snapshot() map[string][]Entry {
 // republished.
 func (s *System) ForgetNode(id chord.ID) {
 	delete(s.nodes, id)
+}
+
+// CrashNode fails a node abruptly: the overlay node crashes (in-flight
+// messages from it die with its process), its application state is
+// dropped, routing tables around the gap are repaired, and registered
+// replicated indexes are re-established on the new placement.
+func (s *System) CrashNode(id chord.ID) error {
+	if _, ok := s.nodes[id]; !ok {
+		return fmt.Errorf("core: crash of unknown node %#x", id)
+	}
+	if err := s.net.CrashNode(id); err != nil {
+		return err
+	}
+	delete(s.nodes, id)
+	s.net.FixAround(id)
+	s.RepairReplicas()
+	return nil
+}
+
+// JoinNode adds a node mid-run: it joins the overlay, routing tables
+// around it are refreshed, and replicated indexes are repaired so the
+// newcomer takes over the primary/replica copies for its arc.
+func (s *System) JoinNode(id chord.ID, host int) (*IndexNode, error) {
+	in, err := s.AddNode(id, host)
+	if err != nil {
+		return nil, err
+	}
+	s.net.FixAround(id)
+	s.RepairReplicas()
+	return in, nil
+}
+
+// retryTimeout returns the retransmission timeout for the given attempt
+// (exponential backoff from the configured base).
+func (s *System) retryTimeout(attempt int) time.Duration {
+	d := float64(s.cfg.Retry.Timeout)
+	for i := 0; i < attempt; i++ {
+		d *= s.cfg.Retry.Backoff
+	}
+	return time.Duration(d)
 }
 
 // Load returns the node's total entry count across schemes — the

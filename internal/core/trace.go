@@ -23,6 +23,9 @@ const (
 	TraceAnswer TraceAction = "answer"
 	// TraceDrop is a subquery lost to churn or the hop guard.
 	TraceDrop TraceAction = "drop"
+	// TraceRetry is a retransmission by the reliable-delivery layer
+	// after an acknowledgement timeout.
+	TraceRetry TraceAction = "retry"
 )
 
 // TraceEvent is one step in a query's execution tree. The sequence of

@@ -95,11 +95,9 @@ func startChurn[T any](dep *Deployment[T], meanSession time.Duration, cc *ChurnC
 				cc.LostEntries += len(count)
 			}
 			host := victim.ChordNode().Host()
-			if err := net.CrashNode(victim.ID()); err != nil {
+			if err := sys.CrashNode(victim.ID()); err != nil {
 				return
 			}
-			sys.ForgetNode(victim.ID())
-			net.FixAround(victim.ID())
 			cc.Crashes++
 
 			// A replacement node joins shortly after with a fresh id.
@@ -111,10 +109,9 @@ func startChurn[T any](dep *Deployment[T], meanSession time.Duration, cc *ChurnC
 				for net.Node(id) != nil {
 					id = chord.ID(rng.Uint64())
 				}
-				if _, err := sys.AddNode(id, host); err != nil {
+				if _, err := sys.JoinNode(id, host); err != nil {
 					return
 				}
-				net.FixAround(id)
 				cc.Joins++
 			})
 			// The lost entries are republished by their owners after a

@@ -54,6 +54,15 @@ type DeploySpec[T any] struct {
 	Naive bool
 	// DisablePNS turns off proximity neighbor selection.
 	DisablePNS bool
+	// LossRate drops each message with this probability (fault
+	// injection; 0 disables).
+	LossRate float64
+	// Jitter adds a uniform random extra delay in [0, Jitter) to every
+	// message.
+	Jitter time.Duration
+	// Retry configures the reliable-delivery layer (zero value: the
+	// paper's fire-and-forget behavior).
+	Retry core.RetryConfig
 }
 
 // SelectLandmarks runs the configured selection scheme over a random
@@ -106,6 +115,10 @@ func Deploy[T any](spec DeploySpec[T]) (*Deployment[T], error) {
 	if spec.DisablePNS {
 		cfg.Chord.PNS = false
 	}
+	if spec.LossRate > 0 || spec.Jitter > 0 {
+		cfg.Chord.Faults = chord.NewFaultPlan().DropAll(spec.LossRate).Jitter(spec.Jitter)
+	}
+	cfg.Retry = spec.Retry
 	sys := core.NewSystem(eng, model, cfg)
 	rng := rand.New(rand.NewSource(spec.Scale.Seed + 7))
 	ids := make([]chord.ID, 0, spec.Scale.Nodes)
@@ -204,6 +217,8 @@ func (d *Deployment[T]) RunWorkload(schemeName string, rangeFactor float64, naiv
 	results := make([]*obs, len(d.Queries))
 	completed := 0
 	droppedBefore := d.Sys.DroppedSubqueries
+	retriesBefore := d.Sys.RetriesIssued
+	recoveredBefore := d.Sys.RecoveredSubqueries
 
 	// Arrivals begin at the engine's current time so reused
 	// deployments keep Poisson pacing across workloads.
@@ -283,6 +298,8 @@ func (d *Deployment[T]) RunWorkload(schemeName string, rangeFactor float64, naiv
 	cell.IndexNodes = eval.Summarize(inodes)
 	cell.Candidates = eval.Summarize(cands)
 	cell.Dropped = d.Sys.DroppedSubqueries - droppedBefore
+	cell.Retries = d.Sys.RetriesIssued - retriesBefore
+	cell.Recovered = d.Sys.RecoveredSubqueries - recoveredBefore
 	cell.Migrations, cell.MigrationsAborted = d.Sys.LBStats()
 	loads := d.Sys.Loads()
 	if len(loads) > 0 {

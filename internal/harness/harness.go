@@ -188,8 +188,14 @@ type Cell struct {
 	// Candidates is the per-query candidate-set size before exact
 	// refinement.
 	Candidates eval.Summary
-	// Dropped counts subqueries lost to churn during the workload.
+	// Dropped counts subqueries lost to churn, injected message loss,
+	// or exhausted retries during the workload.
 	Dropped int
+	// Retries counts retransmissions the reliability layer issued
+	// during the workload; Recovered counts deliveries that succeeded
+	// on a retransmission.
+	Retries   int
+	Recovered int
 	// Migrations / MigrationsAborted report load-balancing activity.
 	Migrations        int
 	MigrationsAborted int

@@ -19,6 +19,7 @@ type Report struct {
 	Cells    []Cell           `json:"cells,omitempty"`
 	Curves   []LoadCurve      `json:"curves,omitempty"`
 	Churn    []ChurnCell      `json:"churn,omitempty"`
+	Faults   []FaultCell      `json:"faults,omitempty"`
 	LBSweep  []LBSweepCell    `json:"lb_sweep,omitempty"`
 	Rotation []RotationResult `json:"rotation,omitempty"`
 	Table2   *Table2Stats     `json:"table2,omitempty"`

@@ -123,6 +123,19 @@ func PrintChurn(w io.Writer, cells []ChurnCell) {
 	fmt.Fprintln(w)
 }
 
+// PrintFaults renders ablation A7.
+func PrintFaults(w io.Writer, cells []FaultCell) {
+	fmt.Fprintln(w, "== Ablation A9: injected message loss, fire-and-forget vs retries (K-mean-10, range factor 5%) ==")
+	fmt.Fprintf(w, "%-6s %7s %7s %8s %8s %8s %9s %9s %6s\n",
+		"loss%", "retry", "crashes", "recall", "dropped", "retrans", "recovered", "resp(ms)", "hops")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-6.1f %7t %7d %8.3f %8d %8d %9d %9.1f %6.1f\n",
+			c.Loss*100, c.Retry, c.Crashes, c.Cell.Recall, c.Cell.Dropped,
+			c.Cell.Retries, c.Cell.Recovered, c.Cell.RespMs.Mean, c.Cell.Hops.Mean)
+	}
+	fmt.Fprintln(w)
+}
+
 // RenderCells renders cells to a string (convenience for tests and
 // EXPERIMENTS.md generation).
 func RenderCells(title string, cells []Cell) string {

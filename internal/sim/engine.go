@@ -143,6 +143,35 @@ func (e *Engine) String() string {
 	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, len(e.events), e.processed)
 }
 
+// Timer is a cancellable one-shot event, the building block for
+// retransmission timeouts: arm it when a message leaves, stop it when
+// the acknowledgement arrives. A stopped timer's callback never runs;
+// the underlying heap event still drains (as a no-op), so cancelling
+// is O(1) and never disturbs event ordering.
+type Timer struct {
+	stopped bool
+}
+
+// AfterFunc schedules fn to run once after delay. The returned Timer
+// cancels the callback if stopped before it fires.
+func (e *Engine) AfterFunc(delay Time, fn func()) *Timer {
+	t := &Timer{}
+	e.Schedule(delay, func() {
+		if t.stopped {
+			return
+		}
+		t.stopped = true
+		fn()
+	})
+	return t
+}
+
+// Stop cancels the timer if it has not fired yet. It is idempotent.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Stopped reports whether the timer has fired or been cancelled.
+func (t *Timer) Stopped() bool { return t.stopped }
+
 // Ticker repeatedly invokes fn every period until Stop is called or the
 // predicate returns false. It is the building block for protocol
 // maintenance timers (stabilize, fix-fingers, load probing).

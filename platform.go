@@ -28,7 +28,20 @@ type Options struct {
 	// codec (quantized 2-byte range bounds per the paper's size model)
 	// instead of size accounting alone.
 	WireCodec bool
+	// LossRate drops each overlay message with this probability (fault
+	// injection, deterministic per Seed; 0 disables).
+	LossRate float64
+	// Jitter adds a uniform random extra delay in [0, Jitter) to every
+	// message.
+	Jitter time.Duration
+	// Retry configures reliable subquery/result delivery (ack, timeout,
+	// bounded retransmission with successor failover). The zero value
+	// keeps the paper's fire-and-forget behavior.
+	Retry RetryConfig
 }
+
+// RetryConfig re-exports the reliable-delivery knobs.
+type RetryConfig = core.RetryConfig
 
 func (o *Options) fillDefaults() {
 	if o.Nodes <= 0 {
@@ -71,6 +84,10 @@ func New(opts Options) (*Platform, error) {
 	cfg.Chord.NumSuccessors = opts.Successors
 	cfg.Chord.PNS = !opts.DisablePNS
 	cfg.EncodeWire = opts.WireCodec
+	if opts.LossRate > 0 || opts.Jitter > 0 {
+		cfg.Chord.Faults = chord.NewFaultPlan().DropAll(opts.LossRate).Jitter(opts.Jitter)
+	}
+	cfg.Retry = opts.Retry
 	sys := core.NewSystem(eng, model, cfg)
 	rng := rand.New(rand.NewSource(opts.Seed + 99))
 	used := map[chord.ID]bool{}
@@ -115,8 +132,10 @@ func (p *Platform) Migrations() (done, aborted int) { return p.sys.LBStats() }
 // load balancing settle between searches).
 func (p *Platform) Run(d time.Duration) { p.eng.RunFor(d) }
 
-// Crash abruptly removes n random nodes (failure injection). Entries
-// they held are lost unless replicated; see Index.Replicate.
+// Crash abruptly removes n random nodes (failure injection): in-flight
+// messages from the victims are lost with them, routing state is
+// patched around each gap, and replicated indexes are repaired onto
+// their new successor sets (see Index.Replicate).
 func (p *Platform) Crash(n int) int {
 	crashed := 0
 	for i := 0; i < n; i++ {
@@ -125,14 +144,33 @@ func (p *Platform) Crash(n int) int {
 			break
 		}
 		victim := nodes[p.rng.Intn(len(nodes))]
-		if err := p.sys.Network().CrashNode(victim.ID()); err != nil {
+		if err := p.sys.CrashNode(victim.ID()); err != nil {
 			continue
 		}
-		p.sys.ForgetNode(victim.ID())
-		p.sys.Network().FixAround(victim.ID())
 		crashed++
 	}
 	return crashed
+}
+
+// ReliabilityStats summarizes the fault-injection and reliable-delivery
+// counters accumulated since the platform started.
+type ReliabilityStats struct {
+	// Dropped counts subqueries or results lost for good (fire-and-
+	// forget losses, exhausted retries).
+	Dropped int
+	// RetriesIssued counts retransmissions sent by the reliability
+	// layer; Recovered counts deliveries that succeeded on one.
+	RetriesIssued int
+	Recovered     int
+}
+
+// Reliability returns the platform's loss/retry counters.
+func (p *Platform) Reliability() ReliabilityStats {
+	return ReliabilityStats{
+		Dropped:       p.sys.DroppedSubqueries,
+		RetriesIssued: p.sys.RetriesIssued,
+		Recovered:     p.sys.RecoveredSubqueries,
+	}
 }
 
 // Traffic summarizes overlay traffic since the platform started.
