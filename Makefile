@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race vet lint bench experiments experiments-paper examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,18 @@ build:
 vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+# Project-specific determinism linters (cmd/lmlint) plus staticcheck
+# when available. lmlint enforces the simulator's reproducibility
+# contract: no global math/rand, no wall clock, no order-sensitive map
+# iteration, no concurrency in engine-owned packages.
+lint:
+	$(GO) run ./cmd/lmlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -42,6 +42,7 @@ func makeCorpus(rng *rand.Rand) (corpus []landmarkdht.SparseVector, topicOf []in
 		}
 		idx := make([]uint32, 0, len(terms))
 		val := make([]float64, 0, len(terms))
+		//lint:allow maporder NewSparseVector canonicalizes by sorting on term index
 		for t, w := range terms {
 			idx = append(idx, t)
 			val = append(val, w)

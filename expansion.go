@@ -32,6 +32,7 @@ func Rocchio(alpha, beta float64) Expander[SparseVector] {
 		}
 		outIdx := make([]uint32, 0, len(acc))
 		outVal := make([]float64, 0, len(acc))
+		//lint:allow maporder NewSparseVector canonicalizes by sorting on term index
 		for idx, v := range acc {
 			if v > 0 {
 				outIdx = append(outIdx, idx)
@@ -89,6 +90,7 @@ func (ix *Index[T]) SearchWithExpansion(q T, k int, r float64, expand Expander[T
 		consider(m)
 	}
 	out := make([]Match[T], 0, len(best))
+	//lint:allow maporder sortMatches totally orders the merged set (Distance, then ID)
 	for _, m := range best {
 		out = append(out, m)
 	}

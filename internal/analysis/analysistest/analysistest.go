@@ -1,0 +1,173 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp"
+//
+// attached to the line the diagnostic is expected on; several quoted
+// patterns may follow one want. Every diagnostic must be matched by an
+// expectation and vice versa. //lint:allow annotations in fixtures are
+// honored, so an analyzer's escape hatch is tested by an annotated
+// violation carrying no want.
+//
+// Fixture packages live under testdata (ignored by the go tool) and may
+// import only the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"landmarkdht/internal/analysis"
+)
+
+// Run analyzes the fixture package in dir (relative to the test's
+// working directory, e.g. "testdata/src/a") and reports any mismatch
+// between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseFixture(fset, dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: fixture %s does not type-check: %v", dir, err)
+	}
+	diags := analysis.RunPackage(a, fset, files, pkg, info)
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+}
+
+func parseFixture(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func collectWants(fset *token.FileSet, files []*ast.File) ([]want, error) {
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted extracts the double-quoted string literals from s.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+1+end+1])
+		s = rest[end+1:]
+	}
+}

@@ -1,0 +1,76 @@
+// Package detrand forbids randomness that does not flow from an
+// explicit seed. The simulator's reproducibility contract (a sim.Engine
+// run is bit-for-bit deterministic per seed) dies silently the moment
+// any code path draws from math/rand's process-global source, which is
+// seeded from entropy at startup. All randomness must come from the
+// engine's seeded RNG (sim.Engine.Rand) or from an explicitly seeded
+// rand.New(rand.NewSource(seed)).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"landmarkdht/internal/analysis"
+)
+
+// Analyzer flags uses of math/rand (and math/rand/v2) top-level
+// functions, which draw from a process-global, entropy-seeded source.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) and types are
+// allowed: they are how seeded generators are built.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand global-source functions; all randomness must come " +
+		"from an explicitly seeded generator (sim.Engine.Rand or rand.New(rand.NewSource(seed)))",
+	Run: run,
+}
+
+// allowed lists the math/rand package-level functions that do NOT touch
+// the global source.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// allowedV2 is the same for math/rand/v2. Note that v2 has no Seed: its
+// top-level functions are always entropy-seeded, so every one of them
+// is forbidden except the seeded-generator constructors.
+var allowedV2 = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := analysis.QualifiedName(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			var bad bool
+			switch path {
+			case "math/rand":
+				bad = !allowed[name]
+			case "math/rand/v2":
+				bad = !allowedV2[name]
+			default:
+				return true
+			}
+			// Types (rand.Rand, rand.Source) and constants are fine;
+			// only function references reach the global source.
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); bad && isFunc {
+				pass.Reportf(sel.Pos(),
+					"call to %s.%s uses the process-global random source; draw from the engine's seeded RNG (sim.Engine.Rand) instead",
+					path, name)
+			}
+			return true
+		})
+	}
+}

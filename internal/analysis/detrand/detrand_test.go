@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"landmarkdht/internal/analysis/analysistest"
+	"landmarkdht/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,33 @@
+// Package a is the detrand fixture: global-source draws are flagged,
+// explicitly seeded generators are not.
+package a
+
+import (
+	"math/rand"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "process-global random source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global random source"
+}
+
+func globalFuncValue() func() float64 {
+	return rand.Float64 // want "process-global random source"
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// typeUse shows that referring to math/rand types is fine.
+func typeUse(rng *rand.Rand) rand.Source {
+	return rand.NewSource(rng.Int63())
+}
+
+func annotated() int {
+	return rand.Int() //lint:allow detrand fixture demonstrates the escape hatch
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"landmarkdht/internal/analysis/analysistest"
+	"landmarkdht/internal/analysis/nogoroutine"
+)
+
+func TestNogoroutine(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "testdata/src/a")
+}

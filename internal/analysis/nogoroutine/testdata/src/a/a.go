@@ -1,0 +1,42 @@
+// Package a is the nogoroutine fixture: concurrency constructs are
+// flagged in engine-owned code.
+package a
+
+import "sync" // the qualifier uses below are what get flagged
+
+func spawn() {
+	ch := make(chan int)    // want "channel type"
+	go func() { ch <- 1 }() // want "go statement" "channel send"
+	<-ch                    // want "channel receive"
+}
+
+func locked(mu *sync.Mutex) { // want "use of sync.Mutex"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func wait(a, b chan int) int { // want "channel type"
+	select { // want "select statement"
+	case v := <-a: // want "channel receive"
+		return v
+	case v := <-b: // want "channel receive"
+		return v
+	}
+}
+
+func drainAll(ch chan int) int { // want "channel type"
+	sum := 0
+	for v := range ch { // want "range over channel"
+		sum += v
+	}
+	return sum
+}
+
+// sequential shows plain single-threaded code passes.
+func sequential(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

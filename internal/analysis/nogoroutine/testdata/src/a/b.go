@@ -1,0 +1,19 @@
+//lint:file-allow nogoroutine this file models the per-trial parallel runner
+
+package a
+
+import "sync"
+
+// parallelTrials is the allowed shape: independent engines driven on
+// separate goroutines, coordinated only at the join point.
+func parallelTrials(n int, run func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(i)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,31 @@
+// Package a is the wallclock fixture: host-clock reads and waits are
+// flagged, virtual-time arithmetic is not, and the annotation escape
+// hatch suppresses a legitimate wall-clock site.
+package a
+
+import "time"
+
+func read() time.Time {
+	return time.Now() // want "wall-clock call time.Now"
+}
+
+func wait() {
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock call time.Since"
+}
+
+func timer() <-chan time.Time {
+	return time.After(time.Second) // want "wall-clock call time.After"
+}
+
+// virtualArithmetic only manipulates durations: allowed.
+func virtualArithmetic(d time.Duration) time.Duration {
+	return 2*d + 500*time.Millisecond
+}
+
+func annotatedTiming() time.Time {
+	return time.Now() //lint:allow wallclock real elapsed-time reporting in the driver
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"landmarkdht/internal/analysis/analysistest"
+	"landmarkdht/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "testdata/src/a")
+}

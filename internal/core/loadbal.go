@@ -216,10 +216,11 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 		entries []Entry
 	}
 	oldID, host := light.ID(), light.node.Host()
+	drainOrder := sortedStoreNames(light.stores)
 	drained := make(map[string]batch)
 	var lightEntries int
-	for name, st := range light.stores {
-		keys, entries := st.drain()
+	for _, name := range drainOrder {
+		keys, entries := light.stores[name].drain()
 		lightEntries += len(entries)
 		drained[name] = batch{keys, entries}
 	}
@@ -235,7 +236,8 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 	if err != nil {
 		// Should not happen (collision checked above); re-park the
 		// drained entries at their owners to avoid loss.
-		for name, b := range drained {
+		for _, name := range drainOrder {
+			b := drained[name]
 			s.reinsert(name, b.keys, b.entries)
 		}
 		heavy.migrating = false
@@ -250,8 +252,8 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 		bytes := s.cfg.Msg.TransferBytes(n)
 		return time.Duration(float64(time.Second) * float64(bytes) / s.cfg.TransferBytesPerSec)
 	}
-	for name, b := range drained {
-		name, keys, entries := name, b.keys, b.entries
+	for _, name := range drainOrder {
+		name, keys, entries := name, drained[name].keys, drained[name].entries
 		s.chargeTransfer(len(entries))
 		s.eng.Schedule(transferDelay(len(entries)), func() {
 			s.reinsert(name, keys, entries)
@@ -260,8 +262,8 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 
 	// 3. The heavy node ships its lower half to the fresh node.
 	var movedTotal int
-	for name, st := range heavy.stores {
-		keys, entries := st.extractUpTo(base, split)
+	for _, name := range sortedStoreNames(heavy.stores) {
+		keys, entries := heavy.stores[name].extractUpTo(base, split)
 		movedTotal += len(entries)
 		if len(entries) == 0 {
 			continue
@@ -295,7 +297,8 @@ func (s *System) chargeTransfer(entries int) {
 // combinedMedian computes a split key over all of a node's stores.
 func combinedMedian(in *IndexNode, base lph.Key) (lph.Key, bool) {
 	merged := &store{}
-	for _, st := range in.stores {
+	for _, name := range sortedStoreNames(in.stores) {
+		st := in.stores[name]
 		merged.keys = append(merged.keys, st.keys...)
 		merged.entries = append(merged.entries, st.entries...)
 	}
@@ -330,8 +333,8 @@ func (s *System) JoinAtHotspot(host int) (*IndexNode, error) {
 		return nil, err
 	}
 	s.net.FixAround(split)
-	for name, st := range heavy.stores {
-		keys, entries := st.extractUpTo(base, split)
+	for _, name := range sortedStoreNames(heavy.stores) {
+		keys, entries := heavy.stores[name].extractUpTo(base, split)
 		fresh.store(name).addAll(keys, entries)
 	}
 	return fresh, nil

@@ -534,6 +534,7 @@ func (s *System) finish(aq *activeQuery) {
 	}
 	aq.finished = true
 	out := make([]Result, 0, len(aq.results))
+	//lint:allow maporder the sort below totally orders results (Dist, then Obj)
 	for obj, d := range aq.results {
 		out = append(out, Result{Obj: obj, Dist: d})
 	}

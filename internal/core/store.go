@@ -112,3 +112,15 @@ func (s *store) addAll(keys []lph.Key, entries []Entry) {
 	s.keys = append(s.keys, keys...)
 	s.entries = append(s.entries, entries...)
 }
+
+// sortedStoreNames returns a node's index-scheme names in sorted order,
+// the deterministic way to iterate a stores map: transfer and migration
+// batches must leave in the same order on every run of a seed.
+func sortedStoreNames(stores map[string]*store) []string {
+	names := make([]string, 0, len(stores))
+	for name := range stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

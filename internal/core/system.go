@@ -437,7 +437,7 @@ func (in *IndexNode) ChordNode() *chord.Node { return in.node }
 // decreasing order of the load").
 func (s *System) Loads() []int {
 	out := make([]int, 0, len(s.nodes))
-	for _, in := range s.nodes {
+	for _, in := range s.Nodes() {
 		out = append(out, in.Load())
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))
@@ -447,7 +447,7 @@ func (s *System) Loads() []int {
 // LoadsFor returns per-node loads for one scheme, descending.
 func (s *System) LoadsFor(indexName string) []int {
 	out := make([]int, 0, len(s.nodes))
-	for _, in := range s.nodes {
+	for _, in := range s.Nodes() {
 		out = append(out, in.LoadFor(indexName))
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"landmarkdht/internal/chord"
@@ -89,10 +90,19 @@ func startChurn[T any](dep *Deployment[T], meanSession time.Duration, cc *ChurnC
 				name    string
 				entries []core.Entry
 			}
+			// Republication order must not depend on map iteration
+			// order, or identical seeds place entries in different
+			// store orders.
+			snap := victimEntries(victim)
+			names := make([]string, 0, len(snap))
+			for name := range snap {
+				names = append(names, name)
+			}
+			sort.Strings(names)
 			var lost []batch
-			for name, count := range victimEntries(victim) {
-				lost = append(lost, batch{name, count})
-				cc.LostEntries += len(count)
+			for _, name := range names {
+				lost = append(lost, batch{name, snap[name]})
+				cc.LostEntries += len(snap[name])
 			}
 			host := victim.ChordNode().Host()
 			if err := sys.CrashNode(victim.ID()); err != nil {

@@ -1,3 +1,5 @@
+//lint:file-allow nogoroutine per-trial parallelism: each goroutine drives its own independent engine
+
 package harness
 
 import (

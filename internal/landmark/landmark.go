@@ -255,6 +255,7 @@ func SparseMean(items []metric.SparseVector) metric.SparseVector {
 	idx := make([]uint32, 0, len(acc))
 	val := make([]float64, 0, len(acc))
 	inv := 1 / float64(len(items))
+	//lint:allow maporder NewSparseVector canonicalizes by sorting on term index
 	for i, v := range acc {
 		idx = append(idx, i)
 		val = append(val, v*inv)
