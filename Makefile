@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint bench experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race vet lint bench bench-json experiments experiments-paper examples clean
 
 all: build vet lint test
 
@@ -38,6 +38,12 @@ test-race:
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...
+
+# Machine-readable benchmark report via the regression harness
+# (cmd/lmbench). Compare two reports with:
+#   go run ./cmd/lmbench -diff BENCH_pr3.json BENCH.json
+bench-json:
+	$(GO) run ./cmd/lmbench -out BENCH.json
 
 # Quick qualitative reproduction of every table/figure (~2 min).
 experiments:

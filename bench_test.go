@@ -32,6 +32,7 @@ func meanRecall(cells []harness.Cell) float64 {
 func BenchmarkTable1DatasetGeneration(b *testing.B) {
 	scale := benchScale()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.BuildSynthetic(scale); err != nil {
 			b.Fatal(err)
@@ -41,6 +42,8 @@ func BenchmarkTable1DatasetGeneration(b *testing.B) {
 
 func BenchmarkTable2CorpusStats(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st, err := harness.Table2(scale)
 		if err != nil {
@@ -53,6 +56,8 @@ func BenchmarkTable2CorpusStats(b *testing.B) {
 
 func BenchmarkFigure2NoLB(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.Figure2(scale)
 		if err != nil {
@@ -64,6 +69,8 @@ func BenchmarkFigure2NoLB(b *testing.B) {
 
 func BenchmarkFigure3WithLB(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.Figure3(scale)
 		if err != nil {
@@ -75,6 +82,8 @@ func BenchmarkFigure3WithLB(b *testing.B) {
 
 func BenchmarkFigure4LoadDistribution(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curves, err := harness.Figure4(scale)
 		if err != nil {
@@ -92,6 +101,8 @@ func BenchmarkFigure4LoadDistribution(b *testing.B) {
 
 func BenchmarkFigure5TRECSubstitute(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.Figure5(scale)
 		if err != nil {
@@ -103,6 +114,8 @@ func BenchmarkFigure5TRECSubstitute(b *testing.B) {
 
 func BenchmarkFigure6TRECLoadDistribution(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curves, err := harness.Figure6(scale)
 		if err != nil {
@@ -119,6 +132,8 @@ func BenchmarkFigure6TRECLoadDistribution(b *testing.B) {
 
 func BenchmarkAblationRotation(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := harness.AblationRotation(scale, 3)
 		if err != nil {
@@ -131,6 +146,8 @@ func BenchmarkAblationRotation(b *testing.B) {
 
 func BenchmarkAblationNaive(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.AblationNaive(scale)
 		if err != nil {
@@ -152,6 +169,8 @@ func BenchmarkAblationNaive(b *testing.B) {
 
 func BenchmarkAblationLB(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.AblationLB(scale); err != nil {
 			b.Fatal(err)
@@ -161,6 +180,8 @@ func BenchmarkAblationLB(b *testing.B) {
 
 func BenchmarkAblationK(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.AblationK(scale); err != nil {
 			b.Fatal(err)
@@ -170,6 +191,8 @@ func BenchmarkAblationK(b *testing.B) {
 
 func BenchmarkAblationChurn(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.AblationChurn(scale)
 		if err != nil {
@@ -182,6 +205,8 @@ func BenchmarkAblationChurn(b *testing.B) {
 
 func BenchmarkAblationPNS(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.AblationPNS(scale)
 		if err != nil {
@@ -193,7 +218,10 @@ func BenchmarkAblationPNS(b *testing.B) {
 }
 
 // BenchmarkPublicAPISearch measures a single end-to-end range search
-// through the public facade.
+// through the public facade. The index build happens before the timer
+// reset, and a warm-up search runs first so lazily grown scratch
+// buffers (query center, scan candidates) are excluded; the custom
+// results/op metric therefore reflects timed searches only, not setup.
 func BenchmarkPublicAPISearch(b *testing.B) {
 	p, err := New(Options{Nodes: 64, Seed: 1})
 	if err != nil {
@@ -205,13 +233,20 @@ func BenchmarkPublicAPISearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
+	if _, _, err := ix.RangeSearch(data[0], 10); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
+	var results int
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ix.RangeSearch(data[i%len(data)], 10); err != nil {
+		objs, _, err := ix.RangeSearch(data[i%len(data)], 10)
+		if err != nil {
 			b.Fatal(err)
 		}
+		results += len(objs)
 	}
+	b.ReportMetric(float64(results)/float64(b.N), "results/op")
 }
 
 func testDataForBench(n, dim int, seed int64) []Vector {
@@ -220,6 +255,8 @@ func testDataForBench(n, dim int, seed int64) []Vector {
 
 func BenchmarkAblationMapping(b *testing.B) {
 	scale := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.AblationMapping(scale)
 		if err != nil {

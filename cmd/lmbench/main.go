@@ -1,0 +1,297 @@
+// Command lmbench is the benchmark-regression harness: it runs the
+// repo's benchmarks through `go test -bench`, parses the standard
+// benchmark output (ns/op, B/op, allocs/op plus custom metrics such as
+// mean-recall) into a machine-readable JSON report, and can compare a
+// run against a checked-in baseline with a configurable regression
+// threshold.
+//
+// Usage:
+//
+//	lmbench -out BENCH.json                      # run everything, write JSON
+//	lmbench -bench 'Schedule|Edit' -pkgs ./internal/...
+//	lmbench -out new.json -baseline BENCH_pr3.json -threshold 0.2
+//	lmbench -diff BENCH_pr3.json new.json        # compare two reports
+//
+// Only ns/op, B/op and allocs/op are regression-gated; custom metrics
+// are carried in the report and printed in diffs but do not fail the
+// run (their improvement direction is metric-specific).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document lmbench reads and writes.
+type Report struct {
+	Bench      string      `json:"bench"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		benchRe   = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "benchtime passed to go test (e.g. 1x, 50x, 1s)")
+		pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+		count     = flag.Int("count", 1, "repeat each benchmark N times and average")
+		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		baseline  = flag.String("baseline", "", "compare the run against this baseline JSON report")
+		threshold = flag.Float64("threshold", 0.2, "allowed relative regression on ns/op, B/op, allocs/op")
+		diffMode  = flag.Bool("diff", false, "compare two JSON reports: lmbench -diff old.json new.json")
+	)
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "lmbench: -diff needs exactly two report files")
+			return 2
+		}
+		old, err := readReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
+			return 2
+		}
+		cur, err := readReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
+			return 2
+		}
+		if compare(os.Stdout, old, cur, *threshold) {
+			return 1
+		}
+		return 0
+	}
+
+	rep, err := runBenchmarks(*benchRe, *benchtime, *count, strings.Split(*pkgs, ","))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
+		return 2
+	}
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
+		return 2
+	}
+	if *baseline != "" {
+		old, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
+			return 2
+		}
+		if compare(os.Stderr, old, rep, *threshold) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// runBenchmarks shells out to go test and parses the benchmark lines.
+func runBenchmarks(benchRe, benchtime string, count int, pkgs []string) (*Report, error) {
+	args := []string{"test", "-run=^$", "-bench=" + benchRe, "-benchmem",
+		"-benchtime=" + benchtime, "-count=" + strconv.Itoa(count)}
+	for _, p := range pkgs {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		// Benchmark output is still useful for diagnosing the failure.
+		os.Stderr.Write(outBytes)
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	rep := &Report{Bench: benchRe, Benchtime: benchtime}
+	if err := parseBenchOutput(string(outBytes), rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchOutput consumes `go test -bench` text output. Lines look
+// like:
+//
+//	pkg: landmarkdht/internal/sim
+//	BenchmarkSchedule-8   1000000   55.65 ns/op   24 B/op   1 allocs/op
+//
+// Metric pairs after the iteration count are (value, unit); custom
+// b.ReportMetric units come through the same way. Repeated lines for
+// the same benchmark (-count > 1) are averaged.
+func parseBenchOutput(out string, rep *Report) error {
+	type acc struct {
+		b Benchmark
+		n int
+	}
+	var order []string
+	accs := map[string]*acc{}
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so reports compare across hosts.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("bad metric value in %q", line)
+			}
+			metrics[fields[i+1]] = v
+		}
+		key := pkg + "." + name
+		a, ok := accs[key]
+		if !ok {
+			a = &acc{b: Benchmark{Pkg: pkg, Name: name, Metrics: map[string]float64{}}}
+			accs[key] = a
+			order = append(order, key)
+		}
+		a.n++
+		a.b.Iterations += iters
+		for unit, v := range metrics { //lint:allow maporder commutative accumulation
+			a.b.Metrics[unit] += v
+		}
+	}
+	for _, key := range order {
+		a := accs[key]
+		for unit := range a.b.Metrics { //lint:allow maporder commutative scaling
+			a.b.Metrics[unit] /= float64(a.n)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, a.b)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in go test output")
+	}
+	return nil
+}
+
+// gated lists the metrics whose increase counts as a regression.
+var gated = []string{"ns/op", "B/op", "allocs/op"}
+
+// compare prints a per-benchmark diff of old vs cur and returns true
+// when any gated metric regressed beyond the threshold. Benchmarks
+// present on only one side are reported but never fail the run.
+func compare(w *os.File, old, cur *Report, threshold float64) bool {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Pkg+"."+b.Name] = b
+	}
+	regressed := false
+	for _, nb := range cur.Benchmarks {
+		key := nb.Pkg + "." + nb.Name
+		ob, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(w, "%-60s new benchmark (no baseline)\n", key)
+			continue
+		}
+		delete(oldBy, key)
+		for _, unit := range gated {
+			ov, o1 := ob.Metrics[unit]
+			nv, n1 := nb.Metrics[unit]
+			if !o1 || !n1 {
+				continue
+			}
+			verdict := "ok"
+			switch {
+			case ov == 0 && nv > 0:
+				verdict = "REGRESSION"
+				regressed = true
+			case ov > 0 && nv > ov*(1+threshold):
+				verdict = "REGRESSION"
+				regressed = true
+			case ov > 0 && nv < ov*(1-threshold):
+				verdict = "improved"
+			}
+			if verdict != "ok" {
+				fmt.Fprintf(w, "%-60s %-10s %12.2f -> %-12.2f %s\n", key, unit, ov, nv, verdict)
+			}
+		}
+		// Custom metrics: informational only.
+		var custom []string
+		for unit := range nb.Metrics { //lint:allow maporder sorted before printing
+			if unit != "ns/op" && unit != "B/op" && unit != "allocs/op" {
+				custom = append(custom, unit)
+			}
+		}
+		sort.Strings(custom)
+		for _, unit := range custom {
+			if ov, ok := ob.Metrics[unit]; ok && ov != nb.Metrics[unit] {
+				fmt.Fprintf(w, "%-60s %-10s %12.4f -> %-12.4f (info)\n", key, unit, ov, nb.Metrics[unit])
+			}
+		}
+	}
+	var gone []string
+	for key := range oldBy { //lint:allow maporder sorted before printing
+		gone = append(gone, key)
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		fmt.Fprintf(w, "%-60s missing from current run\n", key)
+	}
+	if regressed {
+		fmt.Fprintf(w, "lmbench: regression past %.0f%% threshold\n", threshold*100)
+	}
+	return regressed
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func writeReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -23,7 +25,13 @@ import (
 	"landmarkdht/internal/harness"
 )
 
+// main defers to realMain so the pprof defers run before the process
+// exits with the right status code.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		exp     = flag.String("exp", "all", "experiment id: table1 table2 fig2 fig3 fig4 fig5 fig6 rotation naive lbsweep ksweep pns churn faults mapping all")
 		scaleNm = flag.String("scale", "small", "scale preset: bench, small, paper")
@@ -34,8 +42,38 @@ func main() {
 		trials  = flag.Int("trials", 1, "repeat cell experiments (fig2/fig3/fig5/naive/ksweep) over N seeds and report mean±std")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON reports instead of tables")
 		lossArg = flag.String("loss", "0,0.05,0.1,0.2", "comma-separated message loss rates for -exp faults")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
+			}
+		}()
+	}
 
 	var losses []float64
 	for _, s := range strings.Split(*lossArg, ",") {
@@ -46,7 +84,7 @@ func main() {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil || v < 0 || v >= 1 {
 			fmt.Fprintf(os.Stderr, "lmsim: bad loss rate %q (want 0 <= rate < 1)\n", s)
-			os.Exit(2)
+			return 2
 		}
 		losses = append(losses, v)
 	}
@@ -61,7 +99,7 @@ func main() {
 		scale = harness.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "lmsim: unknown scale %q\n", *scaleNm)
-		os.Exit(2)
+		return 2
 	}
 	if *nodes > 0 {
 		scale.Nodes = *nodes
@@ -233,7 +271,8 @@ func main() {
 	for _, id := range ids {
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "lmsim: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

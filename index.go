@@ -118,6 +118,19 @@ type Index[T any] struct {
 	mean    Meaner[T]
 	opts    IndexOptions
 	refresh int64 // bumps the sampling seed on each landmark refresh
+	// centerBuf is the reusable query-embedding buffer: one embedding
+	// per search, consumed synchronously by the query router. Safe
+	// because an Index (like its Platform) is single-goroutine.
+	centerBuf []float64
+}
+
+// mapCenter embeds a query point into the index's reusable buffer.
+// The result is only valid until the next search on this index.
+func (ix *Index[T]) mapCenter(q T) []float64 {
+	if len(ix.centerBuf) != ix.emb.K() {
+		ix.centerBuf = make([]float64, ix.emb.K())
+	}
+	return ix.emb.MapInto(q, ix.centerBuf)
 }
 
 // AddIndex deploys a new index scheme on the platform: landmarks are
@@ -180,14 +193,23 @@ func AddIndex[T any](p *Platform, space Space[T], objects []T, mean Meaner[T], o
 	if err := p.sys.DeployIndex(coreIx); err != nil {
 		return nil, err
 	}
-	entries := make([]core.Entry, len(objects))
-	for i := range objects {
-		entries[i] = core.Entry{Obj: core.ObjectID(i), Point: emb.Map(objects[i])}
-	}
+	entries := batchEntries(emb, objects)
 	if err := p.sys.BulkLoad(space.Name, entries); err != nil {
 		return nil, err
 	}
 	return ix, nil
+}
+
+// batchEntries embeds all objects through one MapBatch arena: two
+// allocations for the whole load instead of one per object, and
+// contiguous coordinates for the bulk-load scan.
+func batchEntries[T any](emb *indexspace.Embedding[T], objects []T) []core.Entry {
+	rows, _ := emb.MapBatch(objects, nil)
+	entries := make([]core.Entry, len(objects))
+	for i := range objects {
+		entries[i] = core.Entry{Obj: core.ObjectID(i), Point: rows[i]}
+	}
+	return entries
 }
 
 // pickLandmarks runs the §3.1 selection procedure over a seeded random
@@ -255,10 +277,7 @@ func (ix *Index[T]) ReindexWith(landmarks []T, boundarySample []T) error {
 	if err := ix.p.sys.DeployIndex(coreIx); err != nil {
 		return err
 	}
-	entries := make([]core.Entry, len(ix.objects))
-	for i := range ix.objects {
-		entries[i] = core.Entry{Obj: core.ObjectID(i), Point: emb.Map(ix.objects[i])}
-	}
+	entries := batchEntries(emb, ix.objects)
 	if err := ix.p.sys.BulkLoad(ix.name, entries); err != nil {
 		return err
 	}
@@ -356,7 +375,7 @@ type QueryTrace = core.Trace
 // returned trace reconstructs how the query travelled the embedded
 // DHT trees (which nodes routed, split, refined and answered it).
 func (ix *Index[T]) RangeSearchTraced(q T, r float64) ([]Match[T], SearchStats, *QueryTrace, error) {
-	center := ix.emb.Map(q)
+	center := ix.mapCenter(q)
 	var result *core.QueryResult
 	err := ix.p.sys.RangeQuery(ix.name, ix.p.randomNode(), q, center, r,
 		core.QueryOpts{Trace: true}, func(qr *core.QueryResult) { result = qr })
@@ -443,7 +462,7 @@ func aggAdd(agg *SearchStats, s SearchStats) {
 }
 
 func (ix *Index[T]) search(q T, r float64, opts core.QueryOpts) ([]Match[T], SearchStats, error) {
-	center := ix.emb.Map(q)
+	center := ix.mapCenter(q)
 	var result *core.QueryResult
 	err := ix.p.sys.RangeQuery(ix.name, ix.p.randomNode(), q, center, r, opts,
 		func(qr *core.QueryResult) { result = qr })

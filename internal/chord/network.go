@@ -122,6 +122,9 @@ type Network struct {
 	nodes   map[ID]*Node
 	ring    []ID // sorted live IDs (oracle view)
 	traffic Traffic
+	// pool recycles inflight records so the per-message delivery path
+	// allocates nothing in steady state (DESIGN.md §9).
+	pool []*inflight
 }
 
 // NewNetwork creates an empty overlay over the given engine and
@@ -295,24 +298,61 @@ func (n *Network) SendOrFail(from *Node, to ID, kind MsgKind, bytes int, deliver
 		}
 		delay += f.extraDelay(n.eng.Rand())
 	}
-	n.eng.Schedule(delay, func() {
-		if from.crashed {
-			// The sender's process died while the message was in
-			// flight (CrashNode semantics); the message dies with it.
-			if failed != nil {
-				failed()
-			}
-			return
+	m := n.acquireInflight()
+	m.net, m.from, m.to, m.deliver, m.failed = n, from, to, deliver, failed
+	n.eng.ScheduleArg(delay, runInflight, m)
+}
+
+// inflight is one in-transit message: the prebound per-event state for
+// the delivery event, pooled on the Network so the hot send path does
+// not allocate a closure per message.
+type inflight struct {
+	net     *Network
+	from    *Node
+	to      ID
+	deliver func(dst *Node)
+	failed  func()
+}
+
+// runInflight is the prebound delivery callback passed to
+// sim.Engine.ScheduleArg (a package-level function value allocates
+// nothing at the call site).
+func runInflight(arg any) { arg.(*inflight).run() }
+
+// run performs the delivery-time liveness checks of SendOrFail and then
+// recycles the record. Fields are copied out and the record is returned
+// to the pool before any callback runs, because callbacks routinely
+// send further messages.
+func (m *inflight) run() {
+	n, from, to, deliver, failed := m.net, m.from, m.to, m.deliver, m.failed
+	m.net, m.from, m.deliver, m.failed = nil, nil, nil, nil
+	n.pool = append(n.pool, m)
+	if from.crashed {
+		// The sender's process died while the message was in flight
+		// (CrashNode semantics); the message dies with it.
+		if failed != nil {
+			failed()
 		}
-		cur, ok := n.nodes[to]
-		if !ok || !cur.alive {
-			if failed != nil {
-				failed()
-			}
-			return // destination departed in flight
+		return
+	}
+	cur, ok := n.nodes[to]
+	if !ok || !cur.alive {
+		if failed != nil {
+			failed()
 		}
-		deliver(cur)
-	})
+		return // destination departed in flight
+	}
+	deliver(cur)
+}
+
+// acquireInflight pops a recycled record or allocates a fresh one.
+func (n *Network) acquireInflight() *inflight {
+	if ln := len(n.pool); ln > 0 {
+		m := n.pool[ln-1]
+		n.pool = n.pool[:ln-1]
+		return m
+	}
+	return &inflight{}
 }
 
 // FixAround rebuilds oracle routing state in the neighborhood of ring

@@ -154,13 +154,22 @@ type sqUnit struct {
 
 // dispatch groups subqueries by destination and ships each group as a
 // single query message (the byte model charges per subquery).
+//
+// routeAt dispatches at most two regions per hop, so the grouping uses
+// linear scans over fixed-size arrays instead of a map: one backing
+// sqUnit allocation for the whole list, and first-seen destination
+// order (deterministic, same as the previous map+order form).
 func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, hops int) {
 	type destKey struct {
 		id        chord.ID
 		surrogate bool
 	}
-	groups := make(map[destKey][]*sqUnit)
-	var order []destKey // deterministic dispatch order
+	arr := make([]sqUnit, 0, len(list))
+	var (
+		dests  [2]destKey
+		groups [2][]*sqUnit
+		nd     int
+	)
 	for _, sq := range list {
 		rk := s.ring(aq, sq.PreKey)
 		if n.node.OwnsKey(rk) {
@@ -177,13 +186,26 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 		} else {
 			d = destKey{id: nh, surrogate: false}
 		}
-		if _, seen := groups[d]; !seen {
-			order = append(order, d)
+		arr = append(arr, sqUnit{reg: sq})
+		gi := -1
+		for i := 0; i < nd; i++ {
+			if dests[i] == d {
+				gi = i
+				break
+			}
 		}
-		groups[d] = append(groups[d], &sqUnit{reg: sq})
+		if gi < 0 {
+			if nd == len(dests) {
+				panic("core: dispatch list exceeds two destinations")
+			}
+			dests[nd] = d
+			nd++
+			gi = nd - 1
+		}
+		groups[gi] = append(groups[gi], &arr[len(arr)-1])
 	}
-	for _, d := range order {
-		s.ship(n, aq, d.id, d.surrogate, groups[d], hops, 0)
+	for i := 0; i < nd; i++ {
+		s.ship(n, aq, dests[i].id, dests[i].surrogate, groups[i], hops, 0)
 	}
 }
 
@@ -195,24 +217,33 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 // retransmission timeout, shipTimeout re-resolves each still-undelivered
 // unit's owner and retransmits with exponential backoff.
 func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bool, units []*sqUnit, hops, attempt int) {
-	live := units[:0:0]
+	undelivered := 0
 	for _, u := range units {
 		if !u.delivered {
-			live = append(live, u)
+			undelivered++
 		}
 	}
-	if len(live) == 0 {
+	if undelivered == 0 {
 		return
 	}
-	regions := make([]query.Region, len(live))
-	for i, u := range live {
-		regions[i] = u.reg
+	live := units
+	if undelivered != len(units) {
+		live = make([]*sqUnit, 0, undelivered)
+		for _, u := range units {
+			if !u.delivered {
+				live = append(live, u)
+			}
+		}
 	}
 	var bytes int
 	var payload []byte
 	if s.cfg.EncodeWire {
 		// Real binary encoding: the receiver works on the decoded
 		// (quantization-widened) cubes.
+		regions := make([]query.Region, len(live))
+		for i, u := range live {
+			regions[i] = u.reg
+		}
 		data, err := wire.EncodeQuery(aq.ix.Part, wire.QueryMessage{
 			Source:     uint32(aq.srcID),
 			Subqueries: regions,
@@ -242,7 +273,7 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 	}
 	deliver := func(dst *chord.Node) {
 		in := s.nodes[dst.ID()]
-		use := regions
+		var use []query.Region // decoded cubes; nil = use the units' own regions
 		if payload != nil {
 			decoded, err := wire.DecodeQuery(aq.ix.Part, payload)
 			if err != nil {
@@ -264,10 +295,14 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 			if attempt > 0 {
 				s.RecoveredSubqueries++
 			}
+			reg := u.reg
+			if use != nil {
+				reg = use[i]
+			}
 			if surrogate {
-				s.surrogateRefine(in, aq, use[i], hops+1)
+				s.surrogateRefine(in, aq, reg, hops+1)
 			} else {
-				s.routeAt(in, aq, use[i], hops+1)
+				s.routeAt(in, aq, reg, hops+1)
 			}
 		}
 	}
@@ -393,7 +428,11 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 		aq.stats.Hops = hops
 	}
 	st := n.store(aq.ix.Name)
-	cands := st.scan(q)
+	// Scan into the system-wide scratch buffer: the candidate list is
+	// fully consumed below before any other scan can run (the engine is
+	// single-threaded and Dist callbacks never re-enter the system).
+	s.scanBuf = st.scanAppend(q, s.scanBuf[:0])
+	cands := s.scanBuf
 	aq.stats.Candidates += len(cands)
 	var local []Result
 	for _, e := range cands {

@@ -28,13 +28,20 @@ func (s *store) size() int { return len(s.entries) }
 // scan returns the entries whose index points fall inside the region's
 // cube.
 func (s *store) scan(r query.Region) []Entry {
-	var out []Entry
+	return s.scanAppend(r, nil)
+}
+
+// scanAppend appends the matching entries to buf and returns it. Hot
+// callers pass a reusable buffer (buf[:0]) so the warm query path does
+// not allocate per scan; the result must be fully consumed before the
+// buffer is reused.
+func (s *store) scanAppend(r query.Region, buf []Entry) []Entry {
 	for i := range s.entries {
 		if r.Contains(s.entries[i].Point) {
-			out = append(out, s.entries[i])
+			buf = append(buf, s.entries[i])
 		}
 	}
-	return out
+	return buf
 }
 
 // medianKey returns a ring key that splits the store roughly in half:

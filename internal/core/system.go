@@ -109,6 +109,10 @@ type System struct {
 	// delivery succeeded on a retransmission — losses that would have
 	// been recall loss without the reliability layer.
 	RecoveredSubqueries int
+	// scanBuf is the reusable candidate buffer for local store scans
+	// (safe because a System is single-threaded and each scan's result
+	// is consumed before the next scan runs; DESIGN.md §9).
+	scanBuf []Entry
 }
 
 // IndexNode is the per-node application state: the index entries this

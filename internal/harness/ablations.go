@@ -92,9 +92,10 @@ func AblationRotation(scale Scale, numIndexes int) ([]RotationResult, error) {
 			if err := sys.DeployIndex(ix); err != nil {
 				return nil, err
 			}
+			rows, _ := emb.MapBatch(data, nil)
 			entries := make([]core.Entry, len(data))
 			for i := range data {
-				entries[i] = core.Entry{Obj: core.ObjectID(i), Point: emb.Map(data[i])}
+				entries[i] = core.Entry{Obj: core.ObjectID(i), Point: rows[i]}
 			}
 			if err := sys.BulkLoad(ix.Name, entries); err != nil {
 				return nil, err

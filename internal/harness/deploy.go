@@ -165,9 +165,13 @@ func Deploy[T any](spec DeploySpec[T]) (*Deployment[T], error) {
 	if err := sys.DeployIndex(ix); err != nil {
 		return nil, err
 	}
+	// Batch-embed the whole dataset into one coordinate arena: two
+	// allocations instead of one per object, and the per-object
+	// embedding loop is the dominant cost of standing up a deployment.
+	rows, _ := emb.MapBatch(data, nil)
 	entries := make([]core.Entry, len(data))
 	for i := range data {
-		entries[i] = core.Entry{Obj: core.ObjectID(i), Point: emb.Map(data[i])}
+		entries[i] = core.Entry{Obj: core.ObjectID(i), Point: rows[i]}
 	}
 	if err := sys.BulkLoad(ix.Name, entries); err != nil {
 		return nil, err

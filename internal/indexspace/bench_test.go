@@ -1,0 +1,91 @@
+package indexspace
+
+// Microbenchmarks and allocation-regression tests for the embedding
+// hot path: Map allocates one row per object, MapInto reuses a
+// caller-provided buffer (zero allocations), MapBatch amortizes a bulk
+// load to two allocations total (DESIGN.md §9).
+
+import (
+	"math/rand"
+	"testing"
+
+	"landmarkdht/internal/metric"
+)
+
+func benchEmbedding(b testing.TB, k, dim int) (*Embedding[metric.Vector], []metric.Vector) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() metric.Vector {
+		v := make(metric.Vector, dim)
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		return v
+	}
+	lms := make([]metric.Vector, k)
+	for i := range lms {
+		lms[i] = mk()
+	}
+	objs := make([]metric.Vector, 256)
+	for i := range objs {
+		objs[i] = mk()
+	}
+	emb, err := New(metric.EuclideanSpace("bench", dim, 0, 100), lms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return emb, objs
+}
+
+func BenchmarkMapK10Dim100(b *testing.B) {
+	emb, objs := benchEmbedding(b, 10, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb.Map(objs[i%len(objs)])
+	}
+}
+
+func BenchmarkMapIntoK10Dim100(b *testing.B) {
+	emb, objs := benchEmbedding(b, 10, 100)
+	dst := make([]float64, emb.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb.MapInto(objs[i%len(objs)], dst)
+	}
+}
+
+func BenchmarkMapBatchK10Dim100(b *testing.B) {
+	emb, objs := benchEmbedding(b, 10, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := emb.MapBatch(objs, nil)
+		_ = rows
+	}
+}
+
+func TestMapIntoZeroAlloc(t *testing.T) {
+	emb, objs := benchEmbedding(t, 10, 100)
+	dst := make([]float64, emb.K())
+	allocs := testing.AllocsPerRun(100, func() {
+		emb.MapInto(objs[0], dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("MapInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestMapBatchExactAllocs pins the batch embedding at its two
+// amortized allocations (rows header + coordinate arena).
+func TestMapBatchExactAllocs(t *testing.T) {
+	emb, objs := benchEmbedding(t, 10, 100)
+	allocs := testing.AllocsPerRun(20, func() {
+		if rows, _ := emb.MapBatch(objs, nil); len(rows) != len(objs) {
+			t.Fatal("short batch")
+		}
+	})
+	if allocs != 2 {
+		t.Fatalf("MapBatch allocates %.1f objects/op, want exactly 2 (rows + arena)", allocs)
+	}
+}

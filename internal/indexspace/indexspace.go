@@ -115,11 +115,46 @@ func (e *Embedding[T]) Bounds() []lph.Bounds { return append([]lph.Bounds(nil), 
 // preserving hash clamps to the boundary when keying (the paper maps
 // out-of-boundary objects to boundary points).
 func (e *Embedding[T]) Map(x T) []float64 {
-	out := make([]float64, len(e.landmarks))
-	for i, l := range e.landmarks {
-		out[i] = e.space.Dist(x, l)
+	return e.MapInto(x, make([]float64, len(e.landmarks)))
+}
+
+// MapInto embeds x into the caller-provided buffer dst, which must
+// have length K(), and returns dst. Hot paths (one embedding per query)
+// reuse one buffer across calls instead of allocating per Map; the
+// buffer must not be retained past its consumption (scratch-ownership
+// rules in DESIGN.md §9).
+func (e *Embedding[T]) MapInto(x T, dst []float64) []float64 {
+	if len(dst) != len(e.landmarks) {
+		panic(fmt.Sprintf("indexspace: MapInto buffer has %d coordinates, want %d", len(dst), len(e.landmarks)))
 	}
-	return out
+	for i, l := range e.landmarks {
+		dst[i] = e.space.Dist(x, l)
+	}
+	return dst
+}
+
+// MapBatch embeds every object of objs, writing all coordinates into
+// one arena: row i is arena[i*k : (i+1)*k]. The caller provides the
+// coordinate arena (grown if too small) and receives the per-object
+// rows plus the arena for reuse. One batch costs two allocations (rows
+// header + arena) instead of one per object, and the contiguous layout
+// keeps bulk loads cache-friendly. Rows alias the arena; they are
+// long-lived (index entries retain them), so pass a fresh or retired
+// arena — never one whose rows are still referenced elsewhere.
+func (e *Embedding[T]) MapBatch(objs []T, arena []float64) (rows [][]float64, out []float64) {
+	k := len(e.landmarks)
+	need := len(objs) * k
+	if cap(arena) < need {
+		arena = make([]float64, need)
+	}
+	arena = arena[:need]
+	rows = make([][]float64, len(objs))
+	for i, x := range objs {
+		row := arena[i*k : (i+1)*k : (i+1)*k]
+		e.MapInto(x, row)
+		rows[i] = row
+	}
+	return rows, arena
 }
 
 // Distance returns d(a, b) in the original metric space (used for the

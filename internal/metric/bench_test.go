@@ -1,0 +1,143 @@
+package metric
+
+// Microbenchmarks and allocation-regression tests for the distance
+// kernels on the index publish/search hot paths. The AllocsPerRun
+// tests pin warm-path allocation at exactly zero (DESIGN.md §9).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStrings(n int) (string, string) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() string {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = "ACGT"[rng.Intn(4)]
+		}
+		return string(s)
+	}
+	return mk(), mk()
+}
+
+// BenchmarkEditScratch64 is BenchmarkEdit64 with a warm scratch: the
+// two-row workspace is reused, so the dynamic program allocates
+// nothing per call.
+func BenchmarkEditScratch64(b *testing.B) {
+	x, y := benchStrings(64)
+	var s EditScratch
+	s.EditInt(x, y) // warm the rows
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EditInt(x, y)
+	}
+}
+
+func BenchmarkL1Dim100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randVec(rng, 100), randVec(rng, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		L1(x, y)
+	}
+}
+
+func BenchmarkLInfDim100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randVec(rng, 100), randVec(rng, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LInf(x, y)
+	}
+}
+
+func BenchmarkLp3Dim100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randVec(rng, 100), randVec(rng, 100)
+	d := Lp(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d(x, y)
+	}
+}
+
+func BenchmarkHausdorff16x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() PointSet {
+		ps := make(PointSet, 16)
+		for i := range ps {
+			ps[i] = randVec(rng, 8)
+		}
+		return ps
+	}
+	x, y := mk(), mk()
+	d := Hausdorff(L2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d(x, y)
+	}
+}
+
+func TestEditScratchZeroAlloc(t *testing.T) {
+	x, y := benchStrings(64)
+	var s EditScratch
+	s.EditInt(x, y) // warm the rows
+	allocs := testing.AllocsPerRun(100, func() {
+		s.EditInt(x, y)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm EditScratch.EditInt allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEditIntExactAllocs pins the convenience (scratch-free) form at
+// exactly its two row allocations, so an accidental extra copy shows
+// up as a test failure.
+func TestEditIntExactAllocs(t *testing.T) {
+	x, y := benchStrings(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		EditInt(x, y)
+	})
+	if allocs != 2 {
+		t.Fatalf("EditInt allocates %.1f objects/op, want exactly 2 (the DP rows)", allocs)
+	}
+}
+
+func TestVectorKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randVec(rng, 100), randVec(rng, 100)
+	lp := Lp(3)
+	hd := Hausdorff(L2)
+	ps1, ps2 := PointSet{x, y}, PointSet{y, x}
+	kernels := map[string]func(){
+		"L2":        func() { L2(x, y) },
+		"L1":        func() { L1(x, y) },
+		"LInf":      func() { LInf(x, y) },
+		"Lp3":       func() { lp(x, y) },
+		"Hausdorff": func() { hd(ps1, ps2) },
+	}
+	//lint:allow maporder each iteration only runs an independent subtest
+	for name, fn := range kernels {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestCosineAngleZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSparse(rng, 233640, 155)
+	y := randSparse(rng, 233640, 155)
+	allocs := testing.AllocsPerRun(100, func() {
+		CosineAngle(x, y)
+	})
+	if allocs != 0 {
+		t.Fatalf("CosineAngle allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -10,8 +10,34 @@ func Edit(a, b string) float64 {
 }
 
 // EditInt computes the edit distance as an integer using the two-row
-// dynamic program (O(len(a)·len(b)) time, O(min) space).
+// dynamic program (O(len(a)·len(b)) time, O(min) space). It allocates
+// fresh rows on every call; hot paths reuse an EditScratch instead.
 func EditInt(a, b string) int {
+	var s EditScratch
+	return s.EditInt(a, b)
+}
+
+// EditScratch is the reusable two-row workspace for the edit-distance
+// dynamic program. The zero value is ready to use; rows grow to the
+// longest string seen and are then reused, so a warm scratch computes
+// distances with zero allocations.
+//
+// A scratch is not safe for concurrent use. Ownership rule (DESIGN.md
+// §9): a scratch belongs to exactly one goroutine — in simulator terms,
+// to one engine/trial. Sharing one across parallel trial engines is a
+// data race.
+type EditScratch struct {
+	prev, curr []int
+}
+
+// Edit is the float64 form of EditInt, matching the metric.Distance
+// signature via a method value: metric.Space{Dist: scratch.Edit}.
+func (s *EditScratch) Edit(a, b string) float64 {
+	return float64(s.EditInt(a, b))
+}
+
+// EditInt computes the edit distance reusing the scratch rows.
+func (s *EditScratch) EditInt(a, b string) int {
 	// Work over bytes: DNA/protein alphabets are ASCII. Ensure b is
 	// the shorter string to minimize the row.
 	if len(a) < len(b) {
@@ -20,8 +46,12 @@ func EditInt(a, b string) int {
 	if len(b) == 0 {
 		return len(a)
 	}
-	prev := make([]int, len(b)+1)
-	curr := make([]int, len(b)+1)
+	n := len(b) + 1
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.curr = make([]int, n)
+	}
+	prev, curr := s.prev[:n], s.curr[:n]
 	for j := range prev {
 		prev[j] = j
 	}
@@ -52,4 +82,13 @@ func EditInt(a, b string) int {
 // of length <= maxLen can be farther apart than maxLen edits.
 func EditSpace(name string, maxLen int) Space[string] {
 	return Space[string]{Name: name, Dist: Edit, Bounded: maxLen > 0, Max: float64(maxLen)}
+}
+
+// EditSpaceScratch is EditSpace with a per-space EditScratch backing
+// the distance function, making warm distance calls allocation-free.
+// The returned Space (and copies of it — they share the scratch) must
+// be confined to a single goroutine/engine; build one Space per trial.
+func EditSpaceScratch(name string, maxLen int) Space[string] {
+	var s EditScratch
+	return Space[string]{Name: name, Dist: s.Edit, Bounded: maxLen > 0, Max: float64(maxLen)}
 }

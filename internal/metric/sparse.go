@@ -13,6 +13,12 @@ import (
 type SparseVector struct {
 	Idx []uint32
 	Val []float64
+	// norm caches the Euclidean norm (0 = not yet computed; a true zero
+	// norm only occurs for the empty vector, where recomputing is free).
+	// NewSparseVector precomputes it so the cosine-angle hot path never
+	// rescans Val; vectors built from struct literals fill it lazily on
+	// first use via Norm.
+	norm float64
 }
 
 // NewSparseVector builds a normalized-representation sparse vector
@@ -45,6 +51,7 @@ func NewSparseVector(idx []uint32, val []float64) (SparseVector, error) {
 			out.Val = append(out.Val, p.v)
 		}
 	}
+	out.norm = computeNorm(out.Val)
 	return out, nil
 }
 
@@ -52,10 +59,20 @@ func NewSparseVector(idx []uint32, val []float64) (SparseVector, error) {
 // size" of the paper's Table 2).
 func (v SparseVector) NNZ() int { return len(v.Idx) }
 
-// Norm returns the Euclidean norm of v.
+// Norm returns the Euclidean norm of v. Vectors built through
+// NewSparseVector carry a precomputed norm, making this O(1) on the
+// cosine-angle hot path; vectors assembled from struct literals fall
+// back to an O(nnz) scan.
 func (v SparseVector) Norm() float64 {
+	if v.norm > 0 {
+		return v.norm
+	}
+	return computeNorm(v.Val)
+}
+
+func computeNorm(val []float64) float64 {
 	var s float64
-	for _, x := range v.Val {
+	for _, x := range val {
 		s += x * x
 	}
 	return math.Sqrt(s)

@@ -82,12 +82,22 @@ func New(p *lph.Partitioner, cube []lph.Bounds) (Region, error) {
 		}
 		r.Cube[j] = lph.Bounds{Lo: lo, Hi: hi}
 	}
+	// Descend divisions in place while the cube stays in one half —
+	// the allocation-free equivalent of repeated single-region Splits
+	// (the cube never changes during the descent, only the prefix).
 	for r.PreLen < lph.M {
-		subs := Split(p, r, r.PreLen+1)
-		if len(subs) != 1 {
-			break
+		pos := r.PreLen + 1
+		j := (pos - 1) % p.K()
+		mid := p.SplitMid(r.PreKey, pos)
+		switch {
+		case r.Cube[j].Lo > mid:
+			r.PreKey = lph.SetBit(r.PreKey, pos)
+			r.PreLen = pos
+		case r.Cube[j].Hi < mid:
+			r.PreLen = pos
+		default:
+			return r, nil
 		}
-		r = subs[0]
 	}
 	return r, nil
 }
@@ -107,12 +117,15 @@ func Split(p *lph.Partitioner, q Region, pos int) []Region {
 	mid := p.SplitMid(q.PreKey, pos)
 	switch {
 	case q.Cube[j].Lo > mid:
-		nq := q.Clone()
+		// The cube is unchanged in the single-half cases, and cubes are
+		// only ever mutated at clone birth (straddle case below,
+		// Restrict), so the child can share the parent's cube slice.
+		nq := q
 		nq.PreKey = lph.SetBit(nq.PreKey, pos)
 		nq.PreLen = pos
 		return []Region{nq}
 	case q.Cube[j].Hi < mid:
-		nq := q.Clone()
+		nq := q
 		nq.PreLen = pos
 		return []Region{nq}
 	default:

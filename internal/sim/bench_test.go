@@ -1,0 +1,122 @@
+package sim
+
+// Microbenchmarks and allocation-regression tests for the scheduler
+// hot path. The value-typed heap plus slot free list make Schedule,
+// ScheduleArg, and AfterFunc+Stop allocation-free in steady state
+// (DESIGN.md §9); the AllocsPerRun tests pin that at exactly zero so a
+// regression fails `go test` rather than silently degrading.
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedule measures enqueue cost at a realistic queue depth:
+// the pending queue is drained whenever it reaches 4096 events, so the
+// number includes the amortized dispatch of every event but not the
+// GC pressure of an unbounded heap.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Pending() >= 4096 {
+			e.Run()
+		}
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, fn)
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkScheduleStep measures the steady-state schedule+dispatch
+// pair: the heap stays depth one and every event reuses the same slot
+// through the free list.
+func BenchmarkScheduleStep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	e.Schedule(0, fn)
+	e.Step() // warm the slot arena and free list
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleArgStep is BenchmarkScheduleStep for the
+// prebound-function form used by message-delivery hot paths.
+func BenchmarkScheduleArgStep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func(any) {}
+	arg := new(int)
+	e.ScheduleArg(0, fn, arg)
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(time.Microsecond, fn, arg)
+		e.Step()
+	}
+}
+
+// BenchmarkAfterFuncStop measures the timer arm/disarm cycle (the
+// retry path arms one timer per reliable message and stops it on ack).
+func BenchmarkAfterFuncStop(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.AfterFunc(time.Microsecond, fn)
+		t.Stop()
+		e.Step() // drain the stopped slot so the heap stays shallow
+	}
+}
+
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	e.Schedule(0, fn)
+	e.Step() // warm the slot arena and free list
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(time.Microsecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestScheduleArgSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func(any) {}
+	arg := new(int)
+	e.ScheduleArg(0, fn, arg)
+	e.Step()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleArg(time.Microsecond, fn, arg)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleArg+Step steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAfterFuncStopZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	tm := e.AfterFunc(0, fn)
+	tm.Stop()
+	e.Step()
+	allocs := testing.AllocsPerRun(100, func() {
+		tm := e.AfterFunc(time.Microsecond, fn)
+		tm.Stop()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterFunc+Stop steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}

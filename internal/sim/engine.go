@@ -5,10 +5,16 @@
 // number generator. A single Engine is strictly single-threaded and
 // deterministic for a given seed; parallelism is obtained by running
 // independent engines (one per trial) on separate goroutines.
+//
+// The scheduler is allocation-free in steady state: the event queue is
+// a value-typed binary heap of (time, seq, slot) triples, and callbacks
+// live in an engine-local slot arena recycled through a plain free
+// list (DESIGN.md §9). Schedule, ScheduleArg and AfterFunc perform
+// zero heap allocations once the heap and arena have grown to the
+// simulation's high-water mark.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,31 +24,26 @@ import (
 // start of the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among events with equal time
-	fn  func()
+// heapItem is one pending event in the priority queue. The callback
+// itself lives in the slot arena; keeping the heap entries small makes
+// sift operations cheap and allocation-free.
+type heapItem struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events with equal time
+	slot int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// slot holds one scheduled callback. Exactly one of fn and argFn is
+// set; argFn carries its argument out of band so callers can schedule
+// a prebound function without allocating a closure. gen increments
+// every time the slot is recycled, which lets Timer handles detect
+// that their event has already fired.
+type slot struct {
+	fn      func()
+	argFn   func(any)
+	arg     any
+	gen     uint32
+	stopped bool
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
@@ -50,7 +51,9 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	heap      []heapItem
+	slots     []slot
+	free      []int32 // recycled slot indices (engine-local free list)
 	rng       *rand.Rand
 	processed uint64
 	running   bool
@@ -71,7 +74,84 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// acquire takes a slot from the free list (or grows the arena) and
+// fills it with the callback.
+func (e *Engine) acquire(fn func(), argFn func(any), arg any) int32 {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.fn, s.argFn, s.arg = fn, argFn, arg
+	s.stopped = false
+	return idx
+}
+
+// release recycles a slot: references are dropped (so callbacks and
+// arguments do not outlive their event) and the generation counter is
+// bumped to invalidate outstanding Timer handles.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn, s.argFn, s.arg = nil, nil, nil
+	s.stopped = false
+	s.gen++
+	e.free = append(e.free, idx)
+}
+
+// push inserts one event into the heap, ordered by (at, seq).
+func (e *Engine) push(it heapItem) {
+	h := append(e.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at < it.at || (h[p].at == it.at && h[p].seq < it.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+	e.heap = h
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() heapItem {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if n == 0 {
+		return top
+	}
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n {
+			if h[r].at < h[l].at || (h[r].at == h[l].at && h[r].seq < h[l].seq) {
+				c = r
+			}
+		}
+		if last.at < h[c].at || (last.at == h[c].at && last.seq < h[c].seq) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = last
+	return top
+}
 
 // Schedule runs fn after delay of simulated time. A negative delay is
 // treated as zero. Events scheduled for the same instant run in FIFO
@@ -84,7 +164,23 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		delay = 0
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.push(heapItem{at: e.now + delay, seq: e.seq, slot: e.acquire(fn, nil, nil)})
+}
+
+// ScheduleArg runs fn(arg) after delay of simulated time. It is the
+// allocation-free alternative to Schedule for hot paths: fn is a
+// prebound (package-level or pre-constructed) function and arg carries
+// the per-event state, so no closure needs to be allocated per event.
+// Passing a pointer in arg does not allocate.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	e.push(heapItem{at: e.now + delay, seq: e.seq, slot: e.acquire(nil, fn, arg)})
 }
 
 // ScheduleAt runs fn at absolute simulated time at. Times in the past
@@ -96,15 +192,28 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 // Step executes the next pending event and returns true, or returns
 // false if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
-	if ev.at > e.now {
-		e.now = ev.at
+	it := e.pop()
+	if it.at > e.now {
+		e.now = it.at
 	}
 	e.processed++
-	ev.fn()
+	s := &e.slots[it.slot]
+	fn, argFn, arg, stopped := s.fn, s.argFn, s.arg, s.stopped
+	// Release before running: the callback may schedule new events
+	// (reusing this slot) and Timer handles must observe the fired
+	// state from inside their own callback.
+	e.release(it.slot)
+	if stopped {
+		return true
+	}
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -127,7 +236,7 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -140,7 +249,7 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
 // String describes the engine state, for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, len(e.events), e.processed)
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, len(e.heap), e.processed)
 }
 
 // Timer is a cancellable one-shot event, the building block for
@@ -148,29 +257,50 @@ func (e *Engine) String() string {
 // the acknowledgement arrives. A stopped timer's callback never runs;
 // the underlying heap event still drains (as a no-op), so cancelling
 // is O(1) and never disturbs event ordering.
+//
+// Timer is a value handle into the engine's slot arena: creating one
+// allocates nothing, and a fired timer's slot is recycled for future
+// events (the generation counter keeps stale handles inert). The zero
+// Timer behaves as already stopped.
 type Timer struct {
-	stopped bool
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
 // AfterFunc schedules fn to run once after delay. The returned Timer
 // cancels the callback if stopped before it fires.
-func (e *Engine) AfterFunc(delay Time, fn func()) *Timer {
-	t := &Timer{}
-	e.Schedule(delay, func() {
-		if t.stopped {
-			return
-		}
-		t.stopped = true
-		fn()
-	})
-	return t
+func (e *Engine) AfterFunc(delay Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: AfterFunc called with nil function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	idx := e.acquire(fn, nil, nil)
+	e.push(heapItem{at: e.now + delay, seq: e.seq, slot: idx})
+	return Timer{eng: e, slot: idx, gen: e.slots[idx].gen}
 }
 
 // Stop cancels the timer if it has not fired yet. It is idempotent.
-func (t *Timer) Stop() { t.stopped = true }
+func (t Timer) Stop() {
+	if t.eng == nil {
+		return
+	}
+	if s := &t.eng.slots[t.slot]; s.gen == t.gen {
+		s.stopped = true
+	}
+}
 
 // Stopped reports whether the timer has fired or been cancelled.
-func (t *Timer) Stopped() bool { return t.stopped }
+func (t Timer) Stopped() bool {
+	if t.eng == nil {
+		return true
+	}
+	s := &t.eng.slots[t.slot]
+	return s.gen != t.gen || s.stopped
+}
 
 // Ticker repeatedly invokes fn every period until Stop is called or the
 // predicate returns false. It is the building block for protocol
@@ -182,6 +312,8 @@ type Ticker struct {
 // NewTicker schedules fn every period, with the first invocation after
 // an initial offset (use offset = period for a plain ticker; a random
 // offset desynchronizes node timers). fn runs until Stop is called.
+// The tick closure is allocated once per ticker; rescheduling it each
+// period reuses the same function value and allocates nothing.
 func NewTicker(e *Engine, offset, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: NewTicker with non-positive period")
