@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint bench bench-json experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race live-race vet lint bench bench-json experiments experiments-paper examples clean
 
 all: build vet lint test
 
@@ -35,6 +35,14 @@ test-short:
 # What CI runs: the race detector over the short suite.
 test-race:
 	$(GO) test -race -short ./...
+
+# The live concurrent runtime under the race detector (CI's live-race
+# job): livert's tests, the sim-vs-live equivalence test, and the
+# lmlive demo with concurrent clients.
+live-race:
+	$(GO) test -race ./internal/runtime/...
+	$(GO) test -race -run TestCrossRuntimeEquivalence .
+	$(GO) run -race ./cmd/lmlive -nodes 24 -objects 1500 -queries 80 -clients 8
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...

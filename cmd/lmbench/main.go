@@ -55,10 +55,24 @@ func realMain() int {
 		count     = flag.Int("count", 1, "repeat each benchmark N times and average")
 		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		baseline  = flag.String("baseline", "", "compare the run against this baseline JSON report")
-		threshold = flag.Float64("threshold", 0.2, "allowed relative regression on ns/op, B/op, allocs/op")
-		diffMode  = flag.Bool("diff", false, "compare two JSON reports: lmbench -diff old.json new.json")
+		threshold = flag.Float64("threshold", 0.2, "allowed relative regression on gated metrics")
+		gate      = flag.String("gate", "", "comma-separated metrics to gate (default ns/op,B/op,allocs/op); "+
+			"e.g. -gate allocs/op ignores timing noise in CI")
+		diffMode = flag.Bool("diff", false, "compare two JSON reports: lmbench -diff old.json new.json")
 	)
 	flag.Parse()
+	if *gate != "" {
+		gated = nil
+		for _, unit := range strings.Split(*gate, ",") {
+			if unit = strings.TrimSpace(unit); unit != "" {
+				gated = append(gated, unit)
+			}
+		}
+		if len(gated) == 0 {
+			fmt.Fprintln(os.Stderr, "lmbench: -gate lists no metrics")
+			return 2
+		}
+	}
 
 	if *diffMode {
 		if flag.NArg() != 2 {
@@ -202,7 +216,9 @@ func parseBenchOutput(out string, rep *Report) error {
 	return nil
 }
 
-// gated lists the metrics whose increase counts as a regression.
+// gated lists the metrics whose increase counts as a regression. The
+// -gate flag narrows it (CI gates allocs/op only: allocation counts are
+// exact while ns/op varies with machine load).
 var gated = []string{"ns/op", "B/op", "allocs/op"}
 
 // compare prints a per-benchmark diff of old vs cur and returns true

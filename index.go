@@ -190,11 +190,13 @@ func AddIndex[T any](p *Platform, space Space[T], objects []T, mean Meaner[T], o
 			return ix.emb.Distance(payload.(T), ix.objects[obj])
 		},
 	}
-	if err := p.sys.DeployIndex(coreIx); err != nil {
-		return nil, err
-	}
 	entries := batchEntries(emb, objects)
-	if err := p.sys.BulkLoad(space.Name, entries); err != nil {
+	if err := p.protocol(func() error {
+		if err := p.sys.DeployIndex(coreIx); err != nil {
+			return err
+		}
+		return p.sys.BulkLoad(space.Name, entries)
+	}); err != nil {
 		return nil, err
 	}
 	return ix, nil
@@ -263,9 +265,6 @@ func (ix *Index[T]) ReindexWith(landmarks []T, boundarySample []T) error {
 	if err != nil {
 		return err
 	}
-	if err := ix.p.sys.RemoveIndex(ix.name); err != nil {
-		return err
-	}
 	coreIx := &core.Index{
 		Name:    ix.name,
 		Part:    part,
@@ -274,15 +273,23 @@ func (ix *Index[T]) ReindexWith(landmarks []T, boundarySample []T) error {
 			return ix.emb.Distance(payload.(T), ix.objects[obj])
 		},
 	}
-	if err := ix.p.sys.DeployIndex(coreIx); err != nil {
-		return err
-	}
 	entries := batchEntries(emb, ix.objects)
-	if err := ix.p.sys.BulkLoad(ix.name, entries); err != nil {
+	if err := ix.p.protocol(func() error {
+		if err := ix.p.sys.RemoveIndex(ix.name); err != nil {
+			return err
+		}
+		if err := ix.p.sys.DeployIndex(coreIx); err != nil {
+			return err
+		}
+		if err := ix.p.sys.BulkLoad(ix.name, entries); err != nil {
+			return err
+		}
+		ix.p.sys.Network().RecordTraffic(chord.KindTransfer,
+			ix.p.sys.Config().Msg.TransferBytes(len(entries)))
+		return nil
+	}); err != nil {
 		return err
 	}
-	ix.p.sys.Network().RecordTraffic(chord.KindTransfer,
-		ix.p.sys.Config().Msg.TransferBytes(len(entries)))
 	ix.emb = emb
 	if ix.space.Bounded {
 		ix.maxDist = ix.space.Max
@@ -330,7 +337,7 @@ func (ix *Index[T]) RefreshLandmarks(threshold float64) (bool, error) {
 // answers queries immediately, with no recovery step. Incompatible
 // with dynamic load migration.
 func (ix *Index[T]) Replicate(copies int) error {
-	return ix.p.sys.ReplicateAll(ix.name, copies)
+	return ix.p.protocol(func() error { return ix.p.sys.ReplicateAll(ix.name, copies) })
 }
 
 // Name returns the index scheme name.
@@ -350,12 +357,25 @@ func (ix *Index[T]) Object(id int) T { return ix.objects[id] }
 
 // Insert publishes a new object through the overlay: a Chord lookup
 // resolves the responsible node and the index entry travels there.
+// Insert mutates the index and must not run concurrently with other
+// inserts on the same index (searches are fine in live mode).
 func (ix *Index[T]) Insert(obj T) (int, error) {
 	id := len(ix.objects)
 	ix.objects = append(ix.objects, obj)
+	entry := core.Entry{Obj: core.ObjectID(id), Point: ix.emb.Map(obj)}
+	if ix.p.live != nil {
+		err := ix.p.live.Await(liveOpTimeout, func(finish func()) error {
+			return ix.p.sys.Publish(ix.name, ix.p.randomNode(), entry,
+				func(chordID uint64, hops int) { finish() })
+		})
+		if err != nil {
+			ix.objects = ix.objects[:id]
+			return 0, err
+		}
+		return id, nil
+	}
 	placed := false
-	err := ix.p.sys.Publish(ix.name, ix.p.randomNode(),
-		core.Entry{Obj: core.ObjectID(id), Point: ix.emb.Map(obj)},
+	err := ix.p.sys.Publish(ix.name, ix.p.randomNode(), entry,
 		func(chordID uint64, hops int) { placed = true })
 	if err != nil {
 		ix.objects = ix.objects[:id]
@@ -375,6 +395,9 @@ type QueryTrace = core.Trace
 // returned trace reconstructs how the query travelled the embedded
 // DHT trees (which nodes routed, split, refined and answered it).
 func (ix *Index[T]) RangeSearchTraced(q T, r float64) ([]Match[T], SearchStats, *QueryTrace, error) {
+	if ix.p.live != nil {
+		return ix.liveSearch(q, r, core.QueryOpts{Trace: true})
+	}
 	center := ix.mapCenter(q)
 	var result *core.QueryResult
 	err := ix.p.sys.RangeQuery(ix.name, ix.p.randomNode(), q, center, r,
@@ -462,6 +485,10 @@ func aggAdd(agg *SearchStats, s SearchStats) {
 }
 
 func (ix *Index[T]) search(q T, r float64, opts core.QueryOpts) ([]Match[T], SearchStats, error) {
+	if ix.p.live != nil {
+		matches, stats, _, err := ix.liveSearch(q, r, opts)
+		return matches, stats, err
+	}
 	center := ix.mapCenter(q)
 	var result *core.QueryResult
 	err := ix.p.sys.RangeQuery(ix.name, ix.p.randomNode(), q, center, r, opts,
@@ -481,4 +508,32 @@ func (ix *Index[T]) search(q T, r float64, opts core.QueryOpts) ([]Match[T], Sea
 		}
 	}
 	return matches, searchStats(result.Stats), nil
+}
+
+// liveOpTimeout bounds one protocol operation on a live platform. Far
+// above any real completion time; it exists so a lost completion (all
+// retries exhausted under injected faults with no reliability layer)
+// surfaces as an error instead of a hang.
+const liveOpTimeout = 30 * time.Second
+
+// liveSearch issues one query on a live platform: the query starts on
+// the protocol executor and the calling goroutine blocks until the
+// merged result arrives. The query embedding and source draw run on the
+// executor too, so concurrent searches from many goroutines stay
+// serialized over the index's shared buffers and the platform RNG.
+func (ix *Index[T]) liveSearch(q T, r float64, opts core.QueryOpts) ([]Match[T], SearchStats, *QueryTrace, error) {
+	var result *core.QueryResult
+	err := ix.p.live.Await(liveOpTimeout, func(finish func()) error {
+		center := ix.mapCenter(q)
+		return ix.p.sys.RangeQuery(ix.name, ix.p.randomNode(), q, center, r, opts,
+			func(qr *core.QueryResult) { result = qr; finish() })
+	})
+	if err != nil {
+		return nil, SearchStats{}, nil, err
+	}
+	matches := make([]Match[T], len(result.Results))
+	for i, res := range result.Results {
+		matches[i] = Match[T]{ID: int(res.Obj), Object: ix.objects[res.Obj], Distance: res.Dist}
+	}
+	return matches, searchStats(result.Stats), result.Trace, nil
 }

@@ -143,6 +143,32 @@ func parseAllow(text string) (analyzer string, fileWide bool, ok bool) {
 	return fields[0], fileWide, true
 }
 
+// liveCapable lists the packages that run the protocol over the live
+// concurrent runtime instead of the single-threaded simulation engine.
+// The engine-owned contract (no goroutines/channels/sync, no wall
+// clock) exists to keep simulated trials reproducible; these packages
+// implement or drive the live runtime, where real concurrency and real
+// time are the whole point, so the analyzers that enforce the contract
+// skip them by design rather than through //lint:allow annotations.
+var liveCapable = []string{
+	"landmarkdht/internal/runtime/livert",
+	"landmarkdht/cmd/lmlive",
+}
+
+// LiveCapable reports whether the package with the given import path is
+// exempt from the engine-owned single-threaded/virtual-clock contract.
+// Besides exact matches it accepts a trailing path segment of an entry
+// ("livert" for "landmarkdht/internal/runtime/livert"), because test
+// fixtures type-check under their directory basename.
+func LiveCapable(path string) bool {
+	for _, entry := range liveCapable {
+		if path == entry || strings.HasSuffix(entry, "/"+path) {
+			return true
+		}
+	}
+	return false
+}
+
 // QualifiedName resolves a selector expression of the form pkg.Name
 // where pkg is an imported package qualifier, returning the package's
 // import path and the selected name. ok is false for any other

@@ -10,3 +10,10 @@ import (
 func TestNogoroutine(t *testing.T) {
 	analysistest.Run(t, nogoroutine.Analyzer, "testdata/src/a")
 }
+
+// TestLiveCapableExempt checks that a live-capable package (matched by
+// analysis.LiveCapable) passes with zero diagnostics despite using
+// goroutines, channels, select, and sync throughout.
+func TestLiveCapableExempt(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "testdata/src/livert")
+}

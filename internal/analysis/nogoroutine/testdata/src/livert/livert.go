@@ -1,0 +1,37 @@
+// Package livert stands in for the live-capable runtime packages
+// (analysis.LiveCapable). Concurrency is their job, so nothing in this
+// file should be flagged — the fixture carries no want expectations.
+package livert
+
+import "sync"
+
+type inbox struct {
+	mu    sync.Mutex
+	queue chan []byte
+	wg    sync.WaitGroup
+}
+
+func (in *inbox) run() {
+	in.wg.Add(1)
+	go func() {
+		defer in.wg.Done()
+		for msg := range in.queue {
+			in.mu.Lock()
+			_ = msg
+			in.mu.Unlock()
+		}
+	}()
+}
+
+func (in *inbox) post(msg []byte) bool {
+	select {
+	case in.queue <- msg:
+		return true
+	default:
+		return false
+	}
+}
+
+func (in *inbox) take() []byte {
+	return <-in.queue
+}

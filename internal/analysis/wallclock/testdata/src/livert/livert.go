@@ -1,0 +1,19 @@
+// Package livert stands in for the live-capable runtime packages
+// (analysis.LiveCapable). They run the protocol in real time, so the
+// wall clock is fair game — the fixture carries no want expectations.
+package livert
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func idle(d time.Duration) {
+	time.Sleep(d)
+}
+
+func deadline(d time.Duration, fn func()) *time.Timer {
+	_ = time.Now()
+	return time.AfterFunc(d, fn)
+}

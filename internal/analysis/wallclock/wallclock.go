@@ -7,7 +7,10 @@
 //
 // Legitimate wall-clock timing (e.g. the experiment driver reporting
 // how long a run really took) is annotated at the call site with
-// //lint:allow wallclock.
+// //lint:allow wallclock. The live-capable packages (analysis.
+// LiveCapable: the livert runtime and cmd/lmlive) are exempt wholesale
+// — they run the protocol in real time, so the wall clock is their
+// clock.
 package wallclock
 
 import (
@@ -40,6 +43,9 @@ var forbidden = map[string]bool{
 }
 
 func run(pass *analysis.Pass) {
+	if analysis.LiveCapable(pass.Pkg.Path()) {
+		return // live-runtime package: real time is in scope by design
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

@@ -10,3 +10,10 @@ import (
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, wallclock.Analyzer, "testdata/src/a")
 }
+
+// TestLiveCapableExempt checks that a live-capable package (matched by
+// analysis.LiveCapable) passes with zero diagnostics despite reading
+// and waiting on the wall clock.
+func TestLiveCapableExempt(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "testdata/src/livert")
+}

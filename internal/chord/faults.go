@@ -3,15 +3,13 @@ package chord
 import (
 	"math/rand"
 	"time"
-
-	"landmarkdht/internal/sim"
 )
 
 // FaultPlan is a seeded, deterministic fault-injection policy attached
 // to a Network through Config.Faults. Every decision (whether a message
 // is lost, how much extra latency it suffers) is drawn from the driving
-// sim.Engine's random source, so a trial with the same seed and the
-// same plan replays byte-identically.
+// runtime's random source, so a simulated trial with the same seed and
+// the same plan replays byte-identically.
 //
 // The plan can express three failure modes:
 //
@@ -44,7 +42,7 @@ type FaultPlan struct {
 // [from, to).
 type partitionWindow struct {
 	hosts    map[int]bool
-	from, to sim.Time
+	from, to time.Duration
 }
 
 // NewFaultPlan returns an empty plan (no faults). Configure it with the
@@ -82,7 +80,7 @@ func (f *FaultPlan) Spike(p float64, d time.Duration) *FaultPlan {
 // Partition separates the given host group from the rest of the
 // network during the window [from, to) of simulated time: any message
 // with exactly one endpoint inside the group is lost.
-func (f *FaultPlan) Partition(hosts []int, from, to sim.Time) *FaultPlan {
+func (f *FaultPlan) Partition(hosts []int, from, to time.Duration) *FaultPlan {
 	set := make(map[int]bool, len(hosts))
 	for _, h := range hosts {
 		set[h] = true
@@ -105,7 +103,7 @@ func (f *FaultPlan) TotalDropped() int64 {
 // draw (only when the kind has a non-zero loss probability), keeping
 // the draw sequence stable across configurations that only change
 // probabilities.
-func (f *FaultPlan) lost(rng *rand.Rand, kind MsgKind, fromHost, toHost int, now sim.Time) bool {
+func (f *FaultPlan) lost(rng *rand.Rand, kind MsgKind, fromHost, toHost int, now time.Duration) bool {
 	for _, p := range f.partitions {
 		if now >= p.from && now < p.to && p.hosts[fromHost] != p.hosts[toHost] {
 			f.Dropped[kind]++

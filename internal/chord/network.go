@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/runtime"
+	"landmarkdht/internal/runtime/simrt"
 	"landmarkdht/internal/sim"
 )
 
@@ -111,12 +113,16 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Network is the simulated overlay: the set of live nodes, the latency
-// model, and traffic accounting. It is driven by a sim.Engine and is
-// not safe for concurrent use (each trial owns one engine and one
-// network).
+// Network is the overlay: the set of live nodes, the latency model,
+// and traffic accounting. It executes over the runtime seams — a
+// Clock for timing and a Transport for message movement — and its
+// protocol callbacks are single-threaded by contract: the simulated
+// runtime drives them from one engine, the live runtime serializes
+// them on one protocol goroutine. A Network is therefore never touched
+// from more than one execution context at a time.
 type Network struct {
-	eng     *sim.Engine
+	rt      runtime.Runtime
+	tr      runtime.Transport
 	model   netmodel.Model
 	cfg     Config
 	nodes   map[ID]*Node
@@ -127,15 +133,23 @@ type Network struct {
 	pool []*inflight
 }
 
-// NewNetwork creates an empty overlay over the given engine and
-// latency model.
+// NewNetwork creates an empty overlay driven by a simulation engine —
+// the historical constructor, equivalent to NewNetworkRuntime over the
+// simrt adapter.
 func NewNetwork(eng *sim.Engine, model netmodel.Model, cfg Config) *Network {
-	cfg.fillDefaults()
-	return &Network{eng: eng, model: model, cfg: cfg, nodes: make(map[ID]*Node)}
+	rt := simrt.New(eng)
+	return NewNetworkRuntime(rt, rt, model, cfg)
 }
 
-// Engine returns the driving simulation engine.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// NewNetworkRuntime creates an empty overlay over explicit runtime
+// seams (simulated or live).
+func NewNetworkRuntime(rt runtime.Runtime, tr runtime.Transport, model netmodel.Model, cfg Config) *Network {
+	cfg.fillDefaults()
+	return &Network{rt: rt, tr: tr, model: model, cfg: cfg, nodes: make(map[ID]*Node)}
+}
+
+// Runtime returns the runtime driving the overlay.
+func (n *Network) Runtime() runtime.Runtime { return n.rt }
 
 // Config returns the overlay configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -184,6 +198,7 @@ func (n *Network) AddNode(id ID, host int) (*Node, error) {
 	n.ring = append(n.ring, 0)
 	copy(n.ring[i+1:], n.ring[i:])
 	n.ring[i] = id
+	runtime.RegisterNode(n.tr, uint64(id))
 	return node, nil
 }
 
@@ -201,6 +216,7 @@ func (n *Network) RemoveNode(id ID) error {
 	if i < len(n.ring) && n.ring[i] == id {
 		n.ring = append(n.ring[:i], n.ring[i+1:]...)
 	}
+	runtime.UnregisterNode(n.tr, uint64(id))
 	return nil
 }
 
@@ -274,6 +290,23 @@ func (n *Network) Send(from *Node, to ID, kind MsgKind, bytes int, deliver func(
 // unknown, either endpoint crashes while the message is in flight, or
 // the network's FaultPlan drops the message.
 func (n *Network) SendOrFail(from *Node, to ID, kind MsgKind, bytes int, deliver func(dst *Node), failed func()) {
+	n.send(from, to, kind, bytes, nil, deliver, failed)
+}
+
+// SendPayload sends a message whose wire encoding is already in hand:
+// the payload bytes travel through the transport (a live transport
+// frames and ships them on the destination's connection; the simulated
+// transport has charged their size and ignores the content). deliver
+// still receives the destination node — the payload reaches the callback
+// through its own prebound state, exactly as with SendOrFail.
+func (n *Network) SendPayload(from *Node, to ID, kind MsgKind, payload []byte, deliver func(dst *Node), failed func()) {
+	n.send(from, to, kind, len(payload), payload, deliver, failed)
+}
+
+// send is the common path: traffic accounting, fault injection, and
+// handoff to the transport with the pooled inflight record as the
+// prebound delivery argument.
+func (n *Network) send(from *Node, to ID, kind MsgKind, bytes int, payload []byte, deliver func(dst *Node), failed func()) {
 	n.traffic.Add(kind, bytes)
 	dst, ok := n.nodes[to]
 	if !ok {
@@ -286,21 +319,21 @@ func (n *Network) SendOrFail(from *Node, to ID, kind MsgKind, bytes int, deliver
 	}
 	delay := n.model.Latency(from.host, dst.host)
 	if f := n.cfg.Faults; f != nil {
-		if f.lost(n.eng.Rand(), kind, from.host, dst.host, n.eng.Now()) {
+		if f.lost(n.rt.Rand(), kind, from.host, dst.host, n.rt.Now()) {
 			// The loss surfaces at the would-be delivery time (not
 			// synchronously): a sender can only learn of it the way a
 			// real one would, by timeout — or, in the fire-and-forget
 			// accounting mode, through the failed callback.
 			if failed != nil {
-				n.eng.Schedule(delay, failed)
+				n.rt.Schedule(delay, failed)
 			}
 			return
 		}
-		delay += f.extraDelay(n.eng.Rand())
+		delay += f.extraDelay(n.rt.Rand())
 	}
 	m := n.acquireInflight()
 	m.net, m.from, m.to, m.deliver, m.failed = n, from, to, deliver, failed
-	n.eng.ScheduleArg(delay, runInflight, m)
+	n.tr.Send(uint64(to), delay, payload, runInflight, m)
 }
 
 // inflight is one in-transit message: the prebound per-event state for
@@ -315,8 +348,8 @@ type inflight struct {
 }
 
 // runInflight is the prebound delivery callback passed to
-// sim.Engine.ScheduleArg (a package-level function value allocates
-// nothing at the call site).
+// Transport.Send (a package-level function value allocates nothing at
+// the call site).
 func runInflight(arg any) { arg.(*inflight).run() }
 
 // run performs the delivery-time liveness checks of SendOrFail and then

@@ -3,7 +3,7 @@ package chord
 import (
 	"fmt"
 
-	"landmarkdht/internal/sim"
+	"landmarkdht/internal/runtime"
 )
 
 // Node is one overlay participant.
@@ -20,7 +20,7 @@ type Node struct {
 	succ        []ID
 	fingers     [64]ID
 
-	ticker *sim.Ticker
+	ticker *runtime.Ticker
 }
 
 // ID returns the node's ring identifier.

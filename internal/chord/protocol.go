@@ -3,7 +3,7 @@ package chord
 import (
 	"time"
 
-	"landmarkdht/internal/sim"
+	"landmarkdht/internal/runtime"
 )
 
 // This file contains the message-driven maintenance protocol: join,
@@ -56,9 +56,9 @@ func (nd *Node) startMaintenance() {
 	if period <= 0 || nd.ticker != nil {
 		return
 	}
-	offset := time.Duration(nd.net.eng.Rand().Int63n(int64(period)))
+	offset := time.Duration(nd.net.rt.Rand().Int63n(int64(period)))
 	round := 0
-	nd.ticker = sim.NewTicker(nd.net.eng, offset, period, func() {
+	nd.ticker = runtime.NewTicker(nd.net.rt, offset, period, func() {
 		if !nd.alive {
 			nd.stopMaintenance()
 			return

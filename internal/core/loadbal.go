@@ -6,7 +6,7 @@ import (
 
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/lph"
-	"landmarkdht/internal/sim"
+	"landmarkdht/internal/runtime"
 )
 
 // LBConfig parameterizes §3.4 dynamic load migration.
@@ -36,7 +36,7 @@ func DefaultLBConfig() LBConfig {
 type lbController struct {
 	sys     *System
 	cfg     LBConfig
-	tickers []*sim.Ticker
+	tickers []*runtime.Ticker
 	// Migrations counts completed migrations.
 	Migrations int
 	// Aborted counts migrations abandoned because the heavy node's
@@ -70,8 +70,8 @@ func (s *System) EnableLoadBalancing(cfg LBConfig) error {
 	s.lb = lb
 	for _, in := range s.Nodes() {
 		in := in
-		offset := time.Duration(s.eng.Rand().Int63n(int64(cfg.Period)))
-		t := sim.NewTicker(s.eng, offset, cfg.Period, func() { lb.tick(in) })
+		offset := time.Duration(s.rt.Rand().Int63n(int64(cfg.Period)))
+		t := runtime.NewTicker(s.rt, offset, cfg.Period, func() { lb.tick(in) })
 		lb.tickers = append(lb.tickers, t)
 	}
 	return nil
@@ -248,14 +248,14 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 
 	// Light node's old entries arrive at their new owners after the
 	// transfer delay.
-	transferDelay := func(n int) sim.Time {
+	transferDelay := func(n int) time.Duration {
 		bytes := s.cfg.Msg.TransferBytes(n)
 		return time.Duration(float64(time.Second) * float64(bytes) / s.cfg.TransferBytesPerSec)
 	}
 	for _, name := range drainOrder {
 		name, keys, entries := name, drained[name].keys, drained[name].entries
 		s.chargeTransfer(len(entries))
-		s.eng.Schedule(transferDelay(len(entries)), func() {
+		s.rt.Schedule(transferDelay(len(entries)), func() {
 			s.reinsert(name, keys, entries)
 		})
 	}
@@ -270,20 +270,20 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 		}
 		name, keys, entries := name, keys, entries
 		s.chargeTransfer(len(entries))
-		s.eng.Schedule(transferDelay(len(entries)), func() {
+		s.rt.Schedule(transferDelay(len(entries)), func() {
 			s.reinsert(name, keys, entries)
 		})
 	}
 	// Both participants become eligible again once the transfers have
 	// landed.
-	s.eng.Schedule(transferDelay(movedTotal+lightEntries)+time.Millisecond, func() {
+	s.rt.Schedule(transferDelay(movedTotal+lightEntries)+time.Millisecond, func() {
 		heavy.migrating = false
 		fresh.migrating = false
 	})
 
 	// The fresh node participates in probing from now on.
-	offset := time.Duration(s.eng.Rand().Int63n(int64(lb.cfg.Period)))
-	t := sim.NewTicker(s.eng, offset, lb.cfg.Period, func() { lb.tick(fresh) })
+	offset := time.Duration(s.rt.Rand().Int63n(int64(lb.cfg.Period)))
+	t := runtime.NewTicker(s.rt, offset, lb.cfg.Period, func() { lb.tick(fresh) })
 	lb.tickers = append(lb.tickers, t)
 }
 

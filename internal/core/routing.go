@@ -86,7 +86,7 @@ func (s *System) RangeQuery(indexName string, srcID chord.ID, payload any, cente
 	if opts.Trace {
 		aq.trace = &Trace{}
 	}
-	aq.stats.Issued = s.eng.Now()
+	aq.stats.Issued = s.rt.Now()
 	s.routeAt(src, aq, region, 0)
 	return nil
 }
@@ -111,12 +111,12 @@ func queryRegion(ix *Index, center []float64, r float64) (query.Region, error) {
 // query q at hop depth hops.
 func (s *System) routeAt(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
 	if hops > s.cfg.MaxHops {
-		aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceDrop,
+		aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceDrop,
 			PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
 		s.dropSubquery(aq)
 		return
 	}
-	aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceRoute,
+	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceRoute,
 		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
 	var list []query.Region
 	if q.PreLen == lph.M {
@@ -268,7 +268,7 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 		aq.stats.Retries++
 	}
 	for _, u := range live {
-		aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: action,
+		aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: action,
 			PreKey: u.reg.PreKey, PreLen: u.reg.PreLen, Hops: hops, Dest: dest})
 	}
 	deliver := func(dst *chord.Node) {
@@ -306,8 +306,19 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 			}
 		}
 	}
+	// With EncodeWire on, the message's binary encoding travels through
+	// the transport (live transports frame and ship it; the simulated
+	// transport has charged its size). Without it only the size model's
+	// byte count exists.
+	sendQuery := func(onDeliver func(*chord.Node), onFail func()) {
+		if payload != nil {
+			s.net.SendPayload(n.node, dest, chord.KindQuery, payload, onDeliver, onFail)
+		} else {
+			s.net.SendOrFail(n.node, dest, chord.KindQuery, bytes, onDeliver, onFail)
+		}
+	}
 	if !s.cfg.Retry.Enabled() {
-		s.net.SendOrFail(n.node, dest, chord.KindQuery, bytes, deliver, func() {
+		sendQuery(deliver, func() {
 			for _, u := range live {
 				if !u.delivered {
 					u.delivered = true
@@ -317,10 +328,10 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 		})
 		return
 	}
-	timer := s.eng.AfterFunc(s.retryTimeout(attempt), func() {
+	timer := s.rt.AfterFunc(s.retryTimeout(attempt), func() {
 		s.shipTimeout(n, aq, live, hops, attempt)
 	})
-	s.net.SendOrFail(n.node, dest, chord.KindQuery, bytes, func(dst *chord.Node) {
+	sendQuery(func(dst *chord.Node) {
 		// Acknowledge first (duplicates too: the sender's timer must
 		// stop either way), then process the undelivered units.
 		s.net.SendOrFail(dst, n.node.ID(), chord.KindAck, s.cfg.Retry.AckBytes, func(*chord.Node) {
@@ -348,7 +359,7 @@ func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hop
 	if attempt >= s.cfg.Retry.MaxRetries || !n.node.Alive() {
 		for _, u := range remaining {
 			u.delivered = true
-			aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceDrop,
+			aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceDrop,
 				PreKey: u.reg.PreKey, PreLen: u.reg.PreLen, Hops: hops})
 			s.dropSubquery(aq)
 		}
@@ -394,12 +405,12 @@ func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hop
 // the wider local scan cannot duplicate results from other nodes.
 func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
 	if hops > s.cfg.MaxHops {
-		aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceDrop,
+		aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceDrop,
 			PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
 		s.dropSubquery(aq)
 		return
 	}
-	aq.trace.add(TraceEvent{At: s.eng.Now(), Node: n.node.ID(), Action: TraceRefine,
+	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceRefine,
 		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
 	part := aq.ix.Part
 	vid := part.Unring(n.node.ID()) // node id in this index's unrotated key space
@@ -449,7 +460,7 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 		local = local[:aq.topK]
 	}
 	nodeID := n.node.ID()
-	aq.trace.add(TraceEvent{At: s.eng.Now(), Node: nodeID, Action: TraceAnswer,
+	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: nodeID, Action: TraceAnswer,
 		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops,
 		Candidates: len(cands), Returned: len(local)})
 	if nodeID == aq.srcID {
@@ -458,6 +469,7 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 		return
 	}
 	var bytes int
+	var payload []byte
 	if s.cfg.EncodeWire && aq.ix.MaxDist > 0 {
 		// Real binary encoding: distances are quantized against the
 		// index's maximum distance (rounded up, never understated).
@@ -472,7 +484,7 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 					local[i] = Result{Obj: ObjectID(e.Obj), Dist: e.Dist}
 				}
 			}
-			bytes = len(data)
+			payload, bytes = data, len(data)
 		} else {
 			bytes = s.cfg.Msg.ResultMsgBytes(len(local))
 		}
@@ -482,10 +494,10 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 	aq.stats.ResultMsgs++
 	aq.stats.ResultBytes += int64(bytes)
 	if s.cfg.Retry.Enabled() {
-		s.sendResultReliably(n, aq, nodeID, local, bytes)
+		s.sendResultReliably(n, aq, nodeID, local, payload, bytes)
 		return
 	}
-	s.net.SendOrFail(n.node, aq.srcID, chord.KindResult, bytes, func(*chord.Node) {
+	s.sendResult(n, aq, payload, bytes, func(*chord.Node) {
 		s.mergeResult(aq, nodeID, local)
 	}, func() {
 		// The querier itself left (only possible under heavy churn).
@@ -493,12 +505,22 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 	})
 }
 
+// sendResult ships one result message to the querier, through the
+// transport with its wire encoding when one exists.
+func (s *System) sendResult(n *IndexNode, aq *activeQuery, payload []byte, bytes int, deliver func(*chord.Node), failed func()) {
+	if payload != nil {
+		s.net.SendPayload(n.node, aq.srcID, chord.KindResult, payload, deliver, failed)
+		return
+	}
+	s.net.SendOrFail(n.node, aq.srcID, chord.KindResult, bytes, deliver, failed)
+}
+
 // sendResultReliably ships one result message to the querier with the
 // ack/timeout/retry state machine. Unlike subqueries the destination is
 // fixed — a result only makes sense at the querier — so exhausted
 // retries (the querier or the answering node died) surface as a dropped
 // subquery.
-func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID, local []Result, bytes int) {
+func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID, local []Result, payload []byte, bytes int) {
 	delivered := false
 	var send func(attempt int)
 	send = func(attempt int) {
@@ -508,7 +530,7 @@ func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID
 			aq.stats.ResultMsgs++
 			aq.stats.ResultBytes += int64(bytes)
 		}
-		timer := s.eng.AfterFunc(s.retryTimeout(attempt), func() {
+		timer := s.rt.AfterFunc(s.retryTimeout(attempt), func() {
 			if delivered {
 				return
 			}
@@ -519,7 +541,7 @@ func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID
 			}
 			send(attempt + 1)
 		})
-		s.net.SendOrFail(n.node, aq.srcID, chord.KindResult, bytes, func(dst *chord.Node) {
+		s.sendResult(n, aq, payload, bytes, func(dst *chord.Node) {
 			s.net.SendOrFail(dst, n.node.ID(), chord.KindAck, s.cfg.Retry.AckBytes, func(*chord.Node) {
 				timer.Stop()
 			}, nil)
@@ -539,7 +561,7 @@ func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID
 // mergeResult runs at the querier when one index node's answer
 // arrives.
 func (s *System) mergeResult(aq *activeQuery, from chord.ID, local []Result) {
-	now := s.eng.Now()
+	now := s.rt.Now()
 	if !aq.gotFirst {
 		aq.gotFirst = true
 		aq.stats.FirstResult = now
@@ -642,7 +664,7 @@ func (s *System) NaiveRangeQuery(indexName string, srcID chord.ID, payload any, 
 		answered: make(map[chord.ID]bool),
 		done:     done,
 	}
-	aq.stats.Issued = s.eng.Now()
+	aq.stats.Issued = s.rt.Now()
 
 	var pieces []query.Region
 	var decompose func(q query.Region)

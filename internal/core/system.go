@@ -8,6 +8,8 @@ import (
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/lph"
 	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/runtime"
+	"landmarkdht/internal/runtime/simrt"
 	"landmarkdht/internal/sim"
 )
 
@@ -84,10 +86,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is a simulated deployment of the index architecture: an
-// overlay of index nodes hosting any number of index schemes.
+// System is a deployment of the index architecture: an overlay of
+// index nodes hosting any number of index schemes. It runs over the
+// runtime seams — simulated (NewSystem) or live (NewSystemRuntime over
+// a live runtime) — and, like the overlay, its protocol callbacks are
+// single-threaded by contract.
 type System struct {
-	eng   *sim.Engine
+	rt    runtime.Runtime
 	net   *chord.Network
 	cfg   Config
 	nodes map[chord.ID]*IndexNode
@@ -124,8 +129,17 @@ type IndexNode struct {
 	migrating bool
 }
 
-// NewSystem creates an empty system over a fresh overlay.
+// NewSystem creates an empty system over a fresh overlay driven by a
+// simulation engine — the historical constructor, equivalent to
+// NewSystemRuntime over the simrt adapter.
 func NewSystem(eng *sim.Engine, model netmodel.Model, cfg Config) *System {
+	rt := simrt.New(eng)
+	return NewSystemRuntime(rt, rt, model, cfg)
+}
+
+// NewSystemRuntime creates an empty system over explicit runtime seams
+// (simulated or live).
+func NewSystemRuntime(rt runtime.Runtime, tr runtime.Transport, model netmodel.Model, cfg Config) *System {
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = 512
 	}
@@ -137,8 +151,8 @@ func NewSystem(eng *sim.Engine, model netmodel.Model, cfg Config) *System {
 	}
 	cfg.Retry.fillDefaults()
 	return &System{
-		eng:        eng,
-		net:        chord.NewNetwork(eng, model, cfg.Chord),
+		rt:         rt,
+		net:        chord.NewNetworkRuntime(rt, tr, model, cfg.Chord),
 		cfg:        cfg,
 		nodes:      make(map[chord.ID]*IndexNode),
 		index:      make(map[string]*Index),
@@ -146,8 +160,8 @@ func NewSystem(eng *sim.Engine, model netmodel.Model, cfg Config) *System {
 	}
 }
 
-// Engine returns the driving simulation engine.
-func (s *System) Engine() *sim.Engine { return s.eng }
+// Runtime returns the runtime driving the system.
+func (s *System) Runtime() runtime.Runtime { return s.rt }
 
 // Network returns the underlying overlay.
 func (s *System) Network() *chord.Network { return s.net }
@@ -308,7 +322,7 @@ func (s *System) publishReliably(src *IndexNode, owner chord.ID, key lph.Key, in
 		if attempt > 0 {
 			s.RetriesIssued++
 		}
-		timer := s.eng.AfterFunc(s.retryTimeout(attempt), func() {
+		timer := s.rt.AfterFunc(s.retryTimeout(attempt), func() {
 			if delivered || !src.node.Alive() {
 				return
 			}

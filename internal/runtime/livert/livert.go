@@ -1,0 +1,410 @@
+// Package livert is the live implementation of the runtime seams: the
+// same protocol code that runs inside the discrete-event simulator
+// executes here in real time, over real in-process connections, serving
+// concurrent queries.
+//
+// # Execution model
+//
+// The protocol layers (chord, core) are single-threaded by contract:
+// one callback runs to completion before the next starts. livert keeps
+// that contract with one protocol-executor goroutine draining a FIFO
+// task queue. Everything else is concurrent:
+//
+//   - one reader goroutine per registered node (its "inbox") pulls
+//     length-prefixed frames off the node's net.Pipe connection and
+//     posts the matching delivery callback to the executor,
+//   - real time.Timer timers back AfterFunc (retransmission timeouts)
+//     and delayed scheduling, firing into the same queue,
+//   - any number of client goroutines issue work through Do/Await,
+//     which also runs on the executor.
+//
+// # Wire path
+//
+// Transport.Send with a payload frames the message's wire encoding
+// (internal/wire bytes, produced by the protocol when EncodeWire is on)
+// as [8-byte message id | 4-byte length | payload] and writes it to the
+// destination node's connection. The node's reader goroutine consumes
+// the frame and matches it, by id, to the pending delivery callback —
+// the callback's prebound state carries the payload for decoding,
+// exactly as in the simulated runtime. Messages without a payload (size
+// accounting only) skip the connection and go straight through the
+// timer path.
+//
+// # Time
+//
+// Now is wall-clock time since the runtime started. The modeled network
+// latency handed to Send is multiplied by Config.LatencyScale (0 =
+// deliver as fast as possible); AfterFunc and Schedule delays are real
+// durations, unscaled, because they implement protocol timeouts and
+// maintenance periods rather than link latency.
+package livert
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"landmarkdht/internal/runtime"
+)
+
+// Config parameterizes a live runtime.
+type Config struct {
+	// Seed seeds the runtime's random source (protocol decisions such
+	// as fault draws and timer offsets; only touched on the executor).
+	Seed int64
+	// LatencyScale multiplies the modeled network latency of every
+	// message. 0 delivers as fast as the machine allows (the useful
+	// setting for tests); 1 reproduces the latency model in real time.
+	LatencyScale float64
+}
+
+// task is one unit of protocol work for the executor. Exactly one of
+// fn / argFn is set; argFn mirrors Clock.ScheduleArg's prebound form.
+type task struct {
+	fn    func()
+	argFn func(any)
+	arg   any
+}
+
+// envelope is a sent message waiting for its frame to arrive at the
+// destination's reader.
+type envelope struct {
+	deliver func(any)
+	arg     any
+	delay   time.Duration
+}
+
+// endpoint is one registered node's connection pair: the executor
+// writes frames to w, the node's reader goroutine consumes them from r.
+type endpoint struct {
+	w net.Conn
+	r net.Conn
+}
+
+// Runtime implements runtime.Runtime, runtime.Transport and
+// runtime.NodeRegistry over real goroutines, connections and timers.
+type Runtime struct {
+	cfg   Config
+	start time.Time
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task
+	closed bool
+
+	epMu sync.Mutex
+	eps  map[uint64]*endpoint
+
+	pendMu  sync.Mutex
+	pending map[uint64]envelope
+	nextMsg uint64
+
+	wg sync.WaitGroup
+}
+
+// ErrClosed is returned by Do/Await on a runtime that has been closed.
+var ErrClosed = errors.New("livert: runtime closed")
+
+// New starts a live runtime: its protocol-executor goroutine runs until
+// Close.
+func New(cfg Config) *Runtime {
+	r := &Runtime{
+		cfg:     cfg,
+		start:   time.Now(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		eps:     make(map[uint64]*endpoint),
+		pending: make(map[uint64]envelope),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// run is the protocol executor: the single goroutine on which every
+// protocol callback executes.
+func (r *Runtime) run() {
+	defer r.wg.Done()
+	r.mu.Lock()
+	for {
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.queue) == 0 {
+			r.mu.Unlock()
+			return // closed and drained
+		}
+		t := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+		if t.argFn != nil {
+			t.argFn(t.arg)
+		} else {
+			t.fn()
+		}
+		r.mu.Lock()
+	}
+}
+
+// post enqueues a task for the executor. It never blocks. It reports
+// whether the task was accepted (false after Close).
+func (r *Runtime) post(t task) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.queue = append(r.queue, t)
+	r.cond.Signal()
+	r.mu.Unlock()
+	return true
+}
+
+// after posts t once d has elapsed (immediately for d <= 0).
+func (r *Runtime) after(d time.Duration, t task) {
+	if d <= 0 {
+		r.post(t)
+		return
+	}
+	time.AfterFunc(d, func() { r.post(t) })
+}
+
+// Now returns the wall-clock time elapsed since the runtime started.
+func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
+
+// Schedule runs fn on the executor after delay of real time.
+func (r *Runtime) Schedule(delay time.Duration, fn func()) {
+	r.after(delay, task{fn: fn})
+}
+
+// ScheduleArg runs fn(arg) on the executor after delay of real time.
+func (r *Runtime) ScheduleArg(delay time.Duration, fn func(any), arg any) {
+	r.after(delay, task{argFn: fn, arg: arg})
+}
+
+// liveTimer backs AfterFunc with a real time.Timer. Its flags are only
+// touched on the executor (arming happens there, the callback runs
+// there, and protocol code stops timers from there), so no lock is
+// needed — the time.Timer goroutine merely posts.
+type liveTimer struct {
+	rt      *Runtime
+	stopped bool
+	fired   bool
+	t       *time.Timer
+}
+
+// AfterFunc schedules fn on the executor after delay of real time and
+// returns a cancellable handle.
+func (r *Runtime) AfterFunc(delay time.Duration, fn func()) runtime.Timer {
+	lt := &liveTimer{rt: r}
+	lt.t = time.AfterFunc(delay, func() {
+		r.post(task{fn: func() {
+			if lt.stopped {
+				return
+			}
+			lt.fired = true
+			fn()
+		}})
+	})
+	return lt
+}
+
+// Stop cancels the timer if it has not fired.
+func (lt *liveTimer) Stop() {
+	lt.stopped = true
+	lt.t.Stop()
+}
+
+// Stopped reports whether the timer has fired or been cancelled.
+func (lt *liveTimer) Stopped() bool { return lt.stopped || lt.fired }
+
+// Rand returns the runtime's seeded random source. Executor-only.
+func (r *Runtime) Rand() *rand.Rand { return r.rng }
+
+// Register opens the node's connection pair and starts its reader
+// goroutine. Called by the overlay (on the executor) when a node joins.
+func (r *Runtime) Register(node uint64) {
+	r.epMu.Lock()
+	if _, dup := r.eps[node]; dup {
+		r.epMu.Unlock()
+		return
+	}
+	rd, wr := net.Pipe()
+	r.eps[node] = &endpoint{w: wr, r: rd}
+	r.epMu.Unlock()
+	r.wg.Add(1)
+	go r.readLoop(rd)
+}
+
+// Unregister closes the node's connections; its reader goroutine exits.
+func (r *Runtime) Unregister(node uint64) {
+	r.epMu.Lock()
+	ep := r.eps[node]
+	delete(r.eps, node)
+	r.epMu.Unlock()
+	if ep != nil {
+		ep.w.Close()
+		ep.r.Close()
+	}
+}
+
+// frameHeader is [8-byte message id | 4-byte payload length].
+const frameHeader = 12
+
+// Send implements runtime.Transport. With a payload, the bytes travel
+// as a frame over the destination node's connection and the delivery
+// callback runs once the node's reader has consumed them (plus the
+// scaled latency). Without one — or when the destination has no
+// connection (already unregistered) — delivery degrades to the timer
+// path; the overlay's own delivery-time liveness checks decide the
+// message's fate either way.
+func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver func(any), arg any) {
+	d := time.Duration(float64(delay) * r.cfg.LatencyScale)
+	if payload == nil {
+		r.after(d, task{argFn: deliver, arg: arg})
+		return
+	}
+	r.epMu.Lock()
+	ep := r.eps[to]
+	r.epMu.Unlock()
+	if ep == nil {
+		r.after(d, task{argFn: deliver, arg: arg})
+		return
+	}
+	r.pendMu.Lock()
+	r.nextMsg++
+	id := r.nextMsg
+	r.pending[id] = envelope{deliver: deliver, arg: arg, delay: d}
+	r.pendMu.Unlock()
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint64(frame[:8], id)
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	copy(frame[frameHeader:], payload)
+	if _, err := ep.w.Write(frame); err != nil {
+		// Connection torn down between the lookup and the write: fall
+		// back to the timer path (same as a missing endpoint).
+		r.pendMu.Lock()
+		_, pend := r.pending[id]
+		delete(r.pending, id)
+		r.pendMu.Unlock()
+		if pend {
+			r.after(d, task{argFn: deliver, arg: arg})
+		}
+	}
+}
+
+// readLoop is one node's inbox: it consumes frames off the connection
+// and posts the matching delivery callbacks until the connection
+// closes.
+func (r *Runtime) readLoop(conn net.Conn) {
+	defer r.wg.Done()
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		id := binary.BigEndian.Uint64(hdr[:8])
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		if n > 0 {
+			// The payload bytes crossed the connection; the delivery
+			// callback re-decodes them from its prebound state.
+			if _, err := io.CopyN(io.Discard, conn, int64(n)); err != nil {
+				return
+			}
+		}
+		r.pendMu.Lock()
+		env, ok := r.pending[id]
+		delete(r.pending, id)
+		r.pendMu.Unlock()
+		if !ok {
+			continue
+		}
+		r.after(env.delay, task{argFn: env.deliver, arg: env.arg})
+	}
+}
+
+// Do runs fn on the executor and waits for it to return. It is how
+// client goroutines perform protocol operations (setup, queries,
+// inspection) without violating the single-threaded contract.
+func (r *Runtime) Do(fn func()) error {
+	done := make(chan struct{})
+	if !r.post(task{fn: func() {
+		fn()
+		close(done)
+	}}) {
+		return ErrClosed
+	}
+	<-done
+	return nil
+}
+
+// Await runs op on the executor and waits until op's completion
+// callback fires (also on the executor) or the timeout elapses. op
+// returning a non-nil error completes the wait immediately. It is the
+// bridge from blocking client code to the protocol's callback style:
+//
+//	err := rt.Await(5*time.Second, func(finish func()) error {
+//		return sys.RangeQuery(..., func(qr *core.QueryResult) {
+//			result = qr
+//			finish()
+//		})
+//	})
+func (r *Runtime) Await(timeout time.Duration, op func(finish func()) error) error {
+	done := make(chan struct{})
+	finished := false
+	finish := func() {
+		// Executor-only; guards against duplicate completion.
+		if !finished {
+			finished = true
+			close(done)
+		}
+	}
+	var opErr error
+	if !r.post(task{fn: func() {
+		if err := op(finish); err != nil {
+			opErr = err
+			finish()
+		}
+	}}) {
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return opErr
+	case <-time.After(timeout):
+		return fmt.Errorf("livert: operation timed out after %v", timeout)
+	}
+}
+
+// Sleep blocks the calling goroutine for d of real time. It exists so
+// callers outside the lint-exempt packages (Platform.Run in live mode)
+// do not need wall-clock calls of their own.
+func (r *Runtime) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Close shuts the runtime down: no further tasks are accepted, the
+// executor drains its queue and exits, all node connections close and
+// their readers exit. Close blocks until every goroutine is gone.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.epMu.Lock()
+	for node, ep := range r.eps { //lint:allow maporder teardown order is immaterial
+		delete(r.eps, node)
+		ep.w.Close()
+		ep.r.Close()
+	}
+	r.epMu.Unlock()
+	r.wg.Wait()
+}

@@ -1,0 +1,201 @@
+package livert_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/runtime/livert"
+)
+
+func newRT(t *testing.T) *livert.Runtime {
+	t.Helper()
+	rt := livert.New(livert.Config{Seed: 1})
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestSendDeliversPayloadFrame sends a framed payload to a registered
+// node and checks the delivery callback runs with its prebound arg.
+func TestSendDeliversPayloadFrame(t *testing.T) {
+	rt := newRT(t)
+	rt.Register(7)
+	done := make(chan any, 1)
+	rt.Send(7, 0, []byte("wire bytes"), func(arg any) { done <- arg }, "state")
+	select {
+	case got := <-done:
+		if got != "state" {
+			t.Fatalf("delivered arg %v, want %q", got, "state")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("payload delivery never ran")
+	}
+}
+
+// TestSendWithoutEndpointFallsBack covers the degraded paths: nil
+// payload and unregistered destination both deliver via the timer path.
+func TestSendWithoutEndpointFallsBack(t *testing.T) {
+	rt := newRT(t)
+	done := make(chan int, 2)
+	rt.Send(1, 0, nil, func(arg any) { done <- arg.(int) }, 10)         // no payload
+	rt.Send(2, 0, []byte("x"), func(arg any) { done <- arg.(int) }, 20) // no endpoint
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-done:
+			got[v] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 2 fallback deliveries ran", i)
+		}
+	}
+	if !got[10] || !got[20] {
+		t.Fatalf("deliveries seen: %v", got)
+	}
+}
+
+// TestDeliveriesSerializeOnExecutor floods one node with concurrent
+// sends from many goroutines and checks the callbacks never overlap —
+// the single-threaded protocol contract.
+func TestDeliveriesSerializeOnExecutor(t *testing.T) {
+	rt := newRT(t)
+	rt.Register(3)
+	const senders, perSender = 8, 25
+	var (
+		inFlight, overlaps, delivered int
+		mu                            sync.Mutex
+		wg                            sync.WaitGroup
+		done                          = make(chan struct{})
+	)
+	deliver := func(any) {
+		mu.Lock()
+		inFlight++
+		if inFlight > 1 {
+			overlaps++
+		}
+		mu.Unlock()
+		mu.Lock()
+		inFlight--
+		delivered++
+		if delivered == senders*perSender {
+			close(done)
+		}
+		mu.Unlock()
+	}
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				rt.Send(3, 0, []byte("m"), deliver, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		t.Fatalf("only %d of %d deliveries ran", delivered, senders*perSender)
+	}
+	if overlaps != 0 {
+		t.Fatalf("%d deliveries overlapped; executor must serialize", overlaps)
+	}
+}
+
+// TestTimerStop arms a retransmission-style timer and cancels it from
+// the executor before it fires.
+func TestTimerStop(t *testing.T) {
+	rt := newRT(t)
+	fired := make(chan struct{}, 1)
+	var tm interface {
+		Stop()
+		Stopped() bool
+	}
+	if err := rt.Do(func() {
+		tm = rt.AfterFunc(50*time.Millisecond, func() { fired <- struct{}{} })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Do(tm.Stop); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestAwait covers the three completion modes: finish callback, op
+// error, and timeout.
+func TestAwait(t *testing.T) {
+	rt := newRT(t)
+	if err := rt.Await(5*time.Second, func(finish func()) error {
+		rt.Schedule(0, finish)
+		return nil
+	}); err != nil {
+		t.Fatalf("finish path: %v", err)
+	}
+	wantErr := "nothing to do"
+	if err := rt.Await(5*time.Second, func(func()) error {
+		return errAwait(wantErr)
+	}); err == nil || err.Error() != wantErr {
+		t.Fatalf("error path: got %v", err)
+	}
+	if err := rt.Await(20*time.Millisecond, func(func()) error {
+		return nil // never finishes
+	}); err == nil {
+		t.Fatal("timeout path: no error")
+	}
+}
+
+type errAwait string
+
+func (e errAwait) Error() string { return string(e) }
+
+// TestCloseRejectsWork checks Do and Await fail fast after Close and
+// that Close is idempotent.
+func TestCloseRejectsWork(t *testing.T) {
+	rt := livert.New(livert.Config{Seed: 1})
+	rt.Register(1)
+	rt.Close()
+	rt.Close()
+	if err := rt.Do(func() {}); err != livert.ErrClosed {
+		t.Fatalf("Do after Close: %v", err)
+	}
+	if err := rt.Await(time.Second, func(func()) error { return nil }); err != livert.ErrClosed {
+		t.Fatalf("Await after Close: %v", err)
+	}
+}
+
+// TestUnregisterMidTraffic tears a node down while sends race in;
+// every delivery must still run (the overlay, not the transport, is
+// responsible for deciding a dead node's messages fail).
+func TestUnregisterMidTraffic(t *testing.T) {
+	rt := newRT(t)
+	rt.Register(9)
+	const n = 50
+	done := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			rt.Send(9, 0, []byte("m"), func(any) { done <- struct{}{} }, nil)
+			if i == n/2 {
+				rt.Unregister(9)
+			}
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d deliveries ran after mid-traffic unregister", i, n)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package runtime defines the execution seams that separate the
+// protocol layers (internal/chord, internal/core) from how they are
+// driven. The paper's protocol logic — query routing, surrogate
+// refinement, reliable delivery, replication, load migration — is
+// written against two narrow interfaces:
+//
+//   - Clock: the time seam (now / schedule / cancellable timers).
+//   - Transport: the messaging seam (move one message to a node and run
+//     its delivery callback on that node's execution context).
+//
+// Two implementations exist:
+//
+//   - runtime/simrt wraps a sim.Engine: virtual time, deterministic
+//     event ordering, zero-allocation scheduling. Every existing
+//     simulation and experiment runs through it unchanged.
+//   - runtime/livert runs the same protocol code in real time over real
+//     in-process connections (net.Pipe), with per-node inbox goroutines
+//     and time.Timer-backed retries, serving concurrent queries.
+//
+// Protocol code stays single-threaded by contract in both runtimes: a
+// callback runs to completion before the next one starts (the sim
+// engine is single-threaded; the live runtime serializes callbacks on
+// one protocol goroutine while its transport and timers run
+// concurrently). That contract is what cmd/lmlint's analyzers enforce
+// for the engine-owned packages.
+package runtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timer is a cancellable one-shot event, the building block for
+// retransmission timeouts: arm it when a message leaves, stop it when
+// the acknowledgement arrives. A stopped timer's callback never runs.
+type Timer interface {
+	// Stop cancels the timer if it has not fired yet. Idempotent.
+	Stop()
+	// Stopped reports whether the timer has fired or been cancelled.
+	Stopped() bool
+}
+
+// Clock is the time seam. Simulated clocks advance virtually and
+// deliver callbacks in deterministic order; a live clock is anchored to
+// the wall clock and delivers callbacks on the runtime's protocol
+// goroutine.
+type Clock interface {
+	// Now returns the time elapsed since the runtime started.
+	Now() time.Duration
+	// Schedule runs fn after delay. A non-positive delay runs fn as the
+	// next available event, never synchronously inside Schedule.
+	Schedule(delay time.Duration, fn func())
+	// ScheduleArg runs fn(arg) after delay. It is the allocation-free
+	// alternative to Schedule for hot paths: fn is a prebound function
+	// and arg carries the per-event state, so no closure is needed.
+	ScheduleArg(delay time.Duration, fn func(any), arg any)
+	// AfterFunc schedules fn to run once after delay and returns a
+	// handle that can cancel it.
+	AfterFunc(delay time.Duration, fn func()) Timer
+}
+
+// Runtime is what protocol code holds: the clock plus the random
+// source every probabilistic decision (fault draws, timer
+// desynchronization offsets) must come from. In the simulated runtime
+// the source is the engine's seeded RNG, which is what makes trials
+// reproducible; the live runtime seeds its own source and only touches
+// it from the protocol goroutine.
+type Runtime interface {
+	Clock
+	// Rand returns the runtime's random source. It must only be used
+	// from protocol callbacks (the source is not concurrency-safe).
+	Rand() *rand.Rand
+}
+
+// Transport is the messaging seam. The overlay (chord.Network) decides
+// everything about a message — destination, modeled latency, fault
+// injection, liveness at delivery time — and the transport only moves
+// it: deliver(arg) must run on the destination's protocol execution
+// context no earlier than delay from now.
+//
+// payload, when non-nil, is the message's wire encoding: a live
+// transport ships exactly those bytes over the destination node's
+// connection; the simulated transport has already charged their size
+// and ignores the content. deliver/arg mirror Clock.ScheduleArg so the
+// per-message hot path allocates no closures.
+//
+// Send never fails synchronously. Loss is modeled above the transport
+// (fault plans, delivery-time liveness checks in the overlay), so a
+// transport that cannot reach the node's inbox still runs deliver —
+// the overlay's own checks then turn the delivery into a failure.
+type Transport interface {
+	Send(to uint64, delay time.Duration, payload []byte, deliver func(any), arg any)
+}
+
+// NodeRegistry is implemented by transports that keep per-node state —
+// livert opens one connection and inbox goroutine per node. The
+// overlay informs the transport of membership changes; transports
+// without per-node state (simrt) simply do not implement it.
+type NodeRegistry interface {
+	Register(node uint64)
+	Unregister(node uint64)
+}
+
+// RegisterNode tells tr about a new node if it keeps per-node state.
+func RegisterNode(tr Transport, node uint64) {
+	if reg, ok := tr.(NodeRegistry); ok {
+		reg.Register(node)
+	}
+}
+
+// UnregisterNode tells tr a node left if it keeps per-node state.
+func UnregisterNode(tr Transport, node uint64) {
+	if reg, ok := tr.(NodeRegistry); ok {
+		reg.Unregister(node)
+	}
+}
+
+// Ticker repeatedly invokes fn every period until Stop is called. It is
+// the building block for protocol maintenance timers (stabilize,
+// fix-fingers, load probing) and works over any Clock; the tick
+// closure is allocated once per ticker and rescheduling it reuses the
+// same function value.
+type Ticker struct {
+	stopped bool
+}
+
+// NewTicker schedules fn every period on c, with the first invocation
+// after an initial offset (use offset = period for a plain ticker; a
+// random offset desynchronizes node timers). fn runs until Stop.
+func NewTicker(c Clock, offset, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("runtime: NewTicker with non-positive period")
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if !t.stopped {
+			c.Schedule(period, tick)
+		}
+	}
+	c.Schedule(offset, tick)
+	return t
+}
+
+// Stop cancels future invocations. It is idempotent.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether the ticker has been stopped.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,50 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"landmarkdht/internal/runtime"
+	"landmarkdht/internal/runtime/simrt"
+	"landmarkdht/internal/sim"
+)
+
+// TestTickerOverSimClock drives a Ticker through the simulated clock:
+// first fire at the offset, then every period, nothing after Stop.
+func TestTickerOverSimClock(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rt := simrt.New(eng)
+	var fires []time.Duration
+	tk := runtime.NewTicker(rt, 3*time.Second, 10*time.Second, func() {
+		fires = append(fires, rt.Now())
+	})
+	eng.RunFor(sim.Time(35 * time.Second))
+	want := []time.Duration{3 * time.Second, 13 * time.Second, 23 * time.Second, 33 * time.Second}
+	if len(fires) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(fires), fires, len(want))
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+	tk.Stop()
+	if !tk.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	eng.RunFor(sim.Time(100 * time.Second))
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired after Stop: %v", fires)
+	}
+}
+
+// TestTickerRejectsBadPeriod checks the constructor panics rather than
+// silently spinning on a zero period.
+func TestTickerRejectsBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker accepted a non-positive period")
+		}
+	}()
+	runtime.NewTicker(simrt.New(sim.NewEngine(1)), 0, 0, func() {})
+}

@@ -40,9 +40,10 @@ const (
 
 // QuerySize returns the encoded size of a query message with n
 // subqueries over a k-dimensional index space — the paper's
-// 20 + 4 + n·(2·2·k + 8 + 1).
+// 20 + 4 + n·(2·2·k + 8 + 1): two PerBound-byte bounds per dimension
+// plus the routing prefix, per subquery.
 func QuerySize(n, k int) int {
-	return PacketHeader + SourceAddr + n*(2*2*k*PerBound/2+PrefixKeyBytes+PrefixLenBytes)
+	return PacketHeader + SourceAddr + n*(2*PerBound*k+PrefixKeyBytes+PrefixLenBytes)
 }
 
 // ResultSize returns the encoded size of a result message with the
@@ -142,7 +143,7 @@ func DecodeQuery(p *lph.Partitioner, data []byte) (QueryMessage, error) {
 	}
 	msg := QueryMessage{Source: binary.BigEndian.Uint32(data[PacketHeader : PacketHeader+4])}
 	off := PacketHeader + SourceAddr
-	per := 4*k + PrefixKeyBytes + PrefixLenBytes
+	per := 2*PerBound*k + PrefixKeyBytes + PrefixLenBytes
 	if len(data) != off+n*per {
 		return QueryMessage{}, fmt.Errorf("wire: query message is %d bytes, want %d", len(data), off+n*per)
 	}

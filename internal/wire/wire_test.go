@@ -261,3 +261,41 @@ func BenchmarkEncodeQuery(b *testing.B) {
 		}
 	}
 }
+
+// The encoders must produce exactly the byte counts the size formulas
+// promise — the traffic accounting charges QuerySize/ResultSize, and a
+// live transport frames the encoder's actual output.
+func TestEncodedLengthMatchesSizeFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 5, 10} {
+		p := part(t, k)
+		for _, n := range []int{0, 1, 2, 5, 9} {
+			msg := QueryMessage{Source: rng.Uint32()}
+			for i := 0; i < n; i++ {
+				msg.Subqueries = append(msg.Subqueries, randRegion(rng, p))
+			}
+			data, err := EncodeQuery(p, msg)
+			if err != nil {
+				t.Fatalf("EncodeQuery(k=%d, n=%d): %v", k, n, err)
+			}
+			if len(data) != QuerySize(n, k) {
+				t.Fatalf("len(EncodeQuery(k=%d, n=%d)) = %d, QuerySize says %d",
+					k, n, len(data), QuerySize(n, k))
+			}
+		}
+	}
+	for _, n := range []int{0, 1, 10, 57} {
+		entries := make([]ResultEntry, n)
+		for i := range entries {
+			entries[i] = ResultEntry{Obj: int32(i), Dist: rng.Float64() * 100}
+		}
+		data, err := EncodeResult(entries, 100)
+		if err != nil {
+			t.Fatalf("EncodeResult(%d entries): %v", n, err)
+		}
+		if len(data) != ResultSize(n) {
+			t.Fatalf("len(EncodeResult(%d entries)) = %d, ResultSize says %d",
+				n, len(data), ResultSize(n))
+		}
+	}
+}

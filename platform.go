@@ -8,6 +8,7 @@ import (
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/core"
 	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/runtime/livert"
 	"landmarkdht/internal/sim"
 )
 
@@ -38,6 +39,15 @@ type Options struct {
 	// bounded retransmission with successor failover). The zero value
 	// keeps the paper's fire-and-forget behavior.
 	Retry RetryConfig
+	// Live runs the platform over the live concurrent runtime instead of
+	// the discrete-event simulator: node inboxes are real goroutines and
+	// connections, retry timers are real timers, and searches may be
+	// issued from many goroutines concurrently. Call Close when done.
+	Live bool
+	// LiveLatencyScale multiplies the modeled network latency in live
+	// mode (0, the default, delivers messages as fast as the machine
+	// allows; 1 reproduces the latency model in real time).
+	LiveLatencyScale float64
 }
 
 // RetryConfig re-exports the reliable-delivery knobs.
@@ -58,13 +68,18 @@ func (o *Options) fillDefaults() {
 	}
 }
 
-// Platform is a simulated peer-to-peer deployment of the landmark
-// index architecture. It hosts any number of Index instances over one
-// overlay. A Platform (and its indexes) must be used from a single
+// Platform is a peer-to-peer deployment of the landmark index
+// architecture. It hosts any number of Index instances over one
+// overlay.
+//
+// A simulated Platform (the default) must be used from a single
 // goroutine: the discrete-event engine is not concurrent — run many
-// platforms in parallel instead.
+// platforms in parallel instead. A live Platform (Options.Live) runs
+// the protocol on its own executor goroutine and serves searches from
+// any number of client goroutines concurrently; call Close when done.
 type Platform struct {
-	eng  *sim.Engine
+	eng  *sim.Engine     // simulated mode (nil in live mode)
+	live *livert.Runtime // live mode (nil in simulated mode)
 	sys  *core.System
 	rng  *rand.Rand
 	opts Options
@@ -73,7 +88,6 @@ type Platform struct {
 // New builds a stabilized overlay of opts.Nodes nodes.
 func New(opts Options) (*Platform, error) {
 	opts.fillDefaults()
-	eng := sim.NewEngine(opts.Seed)
 	model, err := netmodel.NewSyntheticKing(netmodel.KingConfig{
 		N: opts.Nodes, MeanRTT: opts.MeanRTT, Seed: opts.Seed,
 	})
@@ -88,49 +102,110 @@ func New(opts Options) (*Platform, error) {
 		cfg.Chord.Faults = chord.NewFaultPlan().DropAll(opts.LossRate).Jitter(opts.Jitter)
 	}
 	cfg.Retry = opts.Retry
-	sys := core.NewSystem(eng, model, cfg)
-	rng := rand.New(rand.NewSource(opts.Seed + 99))
-	used := map[chord.ID]bool{}
-	for i := 0; i < opts.Nodes; i++ {
-		id := chord.ID(rng.Uint64())
-		for used[id] {
-			id = chord.ID(rng.Uint64())
-		}
-		used[id] = true
-		if _, err := sys.AddNode(id, i); err != nil {
-			return nil, err
-		}
+	p := &Platform{opts: opts}
+	if opts.Live {
+		p.live = livert.New(livert.Config{Seed: opts.Seed, LatencyScale: opts.LiveLatencyScale})
+		p.sys = core.NewSystemRuntime(p.live, p.live, model, cfg)
+	} else {
+		p.eng = sim.NewEngine(opts.Seed)
+		p.sys = core.NewSystem(p.eng, model, cfg)
 	}
-	sys.Stabilize()
-	return &Platform{eng: eng, sys: sys, rng: rng, opts: opts}, nil
+	p.rng = rand.New(rand.NewSource(opts.Seed + 99))
+	if err := p.protocol(func() error {
+		used := map[chord.ID]bool{}
+		for i := 0; i < opts.Nodes; i++ {
+			id := chord.ID(p.rng.Uint64())
+			for used[id] {
+				id = chord.ID(p.rng.Uint64())
+			}
+			used[id] = true
+			if _, err := p.sys.AddNode(id, i); err != nil {
+				return err
+			}
+		}
+		p.sys.Stabilize()
+		return nil
+	}); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Close releases the platform's resources. In live mode it stops the
+// executor, node inbox goroutines and connections; on a simulated
+// platform it is a no-op. The platform is unusable afterwards.
+func (p *Platform) Close() {
+	if p.live != nil {
+		p.live.Close()
+	}
+}
+
+// protocol runs fn on the platform's protocol execution context:
+// synchronously on a simulated platform (the caller's goroutine is the
+// context), via the executor on a live one. Every touch of overlay or
+// system state goes through it.
+func (p *Platform) protocol(fn func() error) error {
+	if p.live == nil {
+		return fn()
+	}
+	var err error
+	if derr := p.live.Do(func() { err = fn() }); derr != nil {
+		return derr
+	}
+	return err
 }
 
 // Nodes returns the current overlay size.
-func (p *Platform) Nodes() int { return p.sys.Network().Size() }
+func (p *Platform) Nodes() int {
+	var n int
+	p.protocol(func() error { n = p.sys.Network().Size(); return nil })
+	return n
+}
 
 // Loads returns per-node index-entry counts in descending order.
-func (p *Platform) Loads() []int { return p.sys.Loads() }
+func (p *Platform) Loads() []int {
+	var loads []int
+	p.protocol(func() error { loads = p.sys.Loads(); return nil })
+	return loads
+}
 
 // Indexes lists the deployed index scheme names.
-func (p *Platform) Indexes() []string { return p.sys.IndexNames() }
+func (p *Platform) Indexes() []string {
+	var names []string
+	p.protocol(func() error { names = p.sys.IndexNames(); return nil })
+	return names
+}
 
 // LBConfig re-exports the §3.4 dynamic-load-migration knobs.
 type LBConfig = core.LBConfig
 
 // EnableLoadBalancing starts periodic load probing and migration.
 func (p *Platform) EnableLoadBalancing(cfg LBConfig) error {
-	return p.sys.EnableLoadBalancing(cfg)
+	return p.protocol(func() error { return p.sys.EnableLoadBalancing(cfg) })
 }
 
 // DisableLoadBalancing stops probing.
-func (p *Platform) DisableLoadBalancing() { p.sys.DisableLoadBalancing() }
+func (p *Platform) DisableLoadBalancing() {
+	p.protocol(func() error { p.sys.DisableLoadBalancing(); return nil })
+}
 
 // Migrations reports completed and aborted load migrations.
-func (p *Platform) Migrations() (done, aborted int) { return p.sys.LBStats() }
+func (p *Platform) Migrations() (done, aborted int) {
+	p.protocol(func() error { done, aborted = p.sys.LBStats(); return nil })
+	return done, aborted
+}
 
-// Run advances the simulation by d of simulated time (useful to let
-// load balancing settle between searches).
-func (p *Platform) Run(d time.Duration) { p.eng.RunFor(d) }
+// Run lets d of platform time pass (useful to let load balancing settle
+// between searches): simulated time on a simulated platform, real time
+// on a live one.
+func (p *Platform) Run(d time.Duration) {
+	if p.live != nil {
+		p.live.Sleep(d)
+		return
+	}
+	p.eng.RunFor(d)
+}
 
 // Crash abruptly removes n random nodes (failure injection): in-flight
 // messages from the victims are lost with them, routing state is
@@ -138,17 +213,20 @@ func (p *Platform) Run(d time.Duration) { p.eng.RunFor(d) }
 // their new successor sets (see Index.Replicate).
 func (p *Platform) Crash(n int) int {
 	crashed := 0
-	for i := 0; i < n; i++ {
-		nodes := p.sys.Nodes()
-		if len(nodes) <= 2 {
-			break
+	p.protocol(func() error {
+		for i := 0; i < n; i++ {
+			nodes := p.sys.Nodes()
+			if len(nodes) <= 2 {
+				break
+			}
+			victim := nodes[p.rng.Intn(len(nodes))]
+			if err := p.sys.CrashNode(victim.ID()); err != nil {
+				continue
+			}
+			crashed++
 		}
-		victim := nodes[p.rng.Intn(len(nodes))]
-		if err := p.sys.CrashNode(victim.ID()); err != nil {
-			continue
-		}
-		crashed++
-	}
+		return nil
+	})
 	return crashed
 }
 
@@ -166,11 +244,16 @@ type ReliabilityStats struct {
 
 // Reliability returns the platform's loss/retry counters.
 func (p *Platform) Reliability() ReliabilityStats {
-	return ReliabilityStats{
-		Dropped:       p.sys.DroppedSubqueries,
-		RetriesIssued: p.sys.RetriesIssued,
-		Recovered:     p.sys.RecoveredSubqueries,
-	}
+	var rs ReliabilityStats
+	p.protocol(func() error {
+		rs = ReliabilityStats{
+			Dropped:       p.sys.DroppedSubqueries,
+			RetriesIssued: p.sys.RetriesIssued,
+			Recovered:     p.sys.RecoveredSubqueries,
+		}
+		return nil
+	})
+	return rs
 }
 
 // Traffic summarizes overlay traffic since the platform started.
@@ -181,11 +264,13 @@ type Traffic struct {
 
 // Traffic returns cumulative message and byte counts.
 func (p *Platform) Traffic() Traffic {
-	msgs, bytes := func() (int64, int64) {
+	var out Traffic
+	p.protocol(func() error {
 		tr := p.sys.Network().Traffic()
-		return tr.Total()
-	}()
-	return Traffic{Messages: msgs, Bytes: bytes}
+		out.Messages, out.Bytes = tr.Total()
+		return nil
+	})
+	return out
 }
 
 // randomNode picks a live node as a query/publish source.

@@ -1,0 +1,7 @@
+//go:build race
+
+package landmarkdht
+
+// raceDetectorEnabled gates tests that exist to exercise live
+// concurrency under the race detector (see crossruntime_test.go).
+const raceDetectorEnabled = true
