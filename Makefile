@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race live-race vet lint bench bench-json experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race live-race chaos vet lint bench bench-json experiments experiments-paper examples clean
 
 all: build vet lint test
 
@@ -43,6 +43,14 @@ live-race:
 	$(GO) test -race ./internal/runtime/...
 	$(GO) test -race -run TestCrossRuntimeEquivalence .
 	$(GO) run -race ./cmd/lmlive -nodes 24 -objects 1500 -queries 80 -clients 8
+
+# The chaos soak (cmd/lmchaos) under the race detector: concurrent
+# clients on the live runtime under message loss, duplication, frame
+# drops, connection kills and churn; every Complete result is verified
+# against brute force and every incomplete result must be honestly
+# flagged.
+chaos:
+	$(GO) run -race ./cmd/lmchaos
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...

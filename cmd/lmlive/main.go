@@ -78,12 +78,15 @@ func realMain() int {
 	const radius = 0.25
 	const k = 10
 	type stats struct {
-		n         int
-		totalLat  time.Duration
-		maxLat    time.Duration
-		mismatch  int
-		emptyKNN  int
-		resultCnt int
+		n          int
+		totalLat   time.Duration
+		maxLat     time.Duration
+		mismatch   int
+		emptyKNN   int
+		resultCnt  int
+		ranges     int
+		incomplete int
+		uncovered  int
 	}
 	var (
 		wg  sync.WaitGroup
@@ -108,13 +111,18 @@ func realMain() int {
 				}
 				t0 := time.Now()
 				if i%2 == 0 {
-					matches, _, err := ix.RangeSearch(q, radius)
+					matches, st, err := ix.RangeSearch(q, radius)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "lmlive: range query: %v\n", err)
 						local.mismatch++
 						continue
 					}
-					if !matchesExact(data, q, radius, matches) {
+					local.ranges++
+					if !st.Complete {
+						local.incomplete++
+						local.uncovered += st.UncoveredRegions
+					} else if !matchesExact(data, q, radius, matches) {
+						// Only a complete result promises exactness.
 						local.mismatch++
 					}
 					local.resultCnt += len(matches)
@@ -146,6 +154,9 @@ func realMain() int {
 			agg.mismatch += local.mismatch
 			agg.emptyKNN += local.emptyKNN
 			agg.resultCnt += local.resultCnt
+			agg.ranges += local.ranges
+			agg.incomplete += local.incomplete
+			agg.uncovered += local.uncovered
 			mu.Unlock()
 		}(c)
 	}
@@ -162,11 +173,13 @@ func realMain() int {
 			float64(agg.resultCnt)/float64(agg.n))
 	}
 	fmt.Printf("lmlive: overlay traffic %d msgs, %d bytes\n", tr.Messages, tr.Bytes)
+	fmt.Printf("lmlive: completeness: %d/%d range results complete (%d incomplete, %d uncovered regions)\n",
+		agg.ranges-agg.incomplete, agg.ranges, agg.incomplete, agg.uncovered)
 	if agg.mismatch > 0 {
 		fmt.Fprintf(os.Stderr, "lmlive: %d range queries disagreed with brute force\n", agg.mismatch)
 		return 1
 	}
-	fmt.Println("lmlive: all range results verified against brute force")
+	fmt.Println("lmlive: all complete range results verified against brute force")
 	return 0
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"landmarkdht"
 )
@@ -97,8 +98,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// A batch of queries, so the loss rate has room to bite.
-		total, retrans := 0, 0
+		// A batch of queries, so the loss rate has room to bite. Every
+		// result now says whether it is exact: Complete results carry
+		// the full answer, incomplete ones list how much index space
+		// went unanswered.
+		total, retrans, incomplete, uncovered := 0, 0, 0, 0
 		for i := 0; i < 25; i++ {
 			matches, stats, err := lx.RangeSearch(data[i*37], 8)
 			if err != nil {
@@ -106,6 +110,10 @@ func main() {
 			}
 			total += len(matches)
 			retrans += stats.Retries
+			if !stats.Complete {
+				incomplete++
+				uncovered += stats.UncoveredRegions
+			}
 		}
 		rel := lossy.Reliability()
 		mode := "fire-and-forget"
@@ -114,5 +122,46 @@ func main() {
 		}
 		fmt.Printf("%-16s %d matches over 25 queries, %d retransmissions, %d recovered, %d subqueries lost for good\n",
 			mode+":", total, retrans, rel.Recovered, rel.Dropped)
+		fmt.Printf("%-16s %d/25 results flagged incomplete (%d uncovered index regions)\n",
+			"", incomplete, uncovered)
 	}
+
+	// Part three: tail-latency control. A deadline bounds every query's
+	// total time — on expiry the query returns what it has, honestly
+	// flagged — and hedging re-sends slow subqueries to the successor
+	// replica so the deadline is rarely hit.
+	fmt.Println("\n--- deadline + hedging under 20% loss ---")
+	hedged, err := landmarkdht.New(landmarkdht.Options{
+		Nodes: 64, Seed: 7,
+		Faults:   &landmarkdht.FaultOptions{Drop: 0.20},
+		Retry:    landmarkdht.RetryConfig{MaxRetries: 2},
+		Deadline: 20 * time.Second,
+		Hedge:    landmarkdht.HedgeConfig{Delay: 2 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hx, err := landmarkdht.AddIndex(hedged,
+		landmarkdht.EuclideanSpace("resilient", 10, -20, 120),
+		data, landmarkdht.DenseMean,
+		landmarkdht.IndexOptions{Landmarks: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hx.Replicate(2); err != nil {
+		log.Fatal(err)
+	}
+	complete := 0
+	for i := 0; i < 25; i++ {
+		_, stats, err := hx.RangeSearch(data[i*37], 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.Complete {
+			complete++
+		}
+	}
+	rel := hedged.Reliability()
+	fmt.Printf("with hedging:     %d/25 results complete, %d hedged subqueries, %d retransmissions\n",
+		complete, rel.Hedges, rel.RetriesIssued)
 }

@@ -90,20 +90,38 @@ type SearchStats struct {
 	// Retries is the number of retransmissions the reliability layer
 	// issued for this query.
 	Retries int
+	// Hedges is the number of hedged subqueries this query re-sent to
+	// successor replicas.
+	Hedges int
+	// Complete reports whether every subquery was answered: a complete
+	// range search is exact. When false — subqueries were lost for good
+	// or a deadline expired first — the results are a correct subset and
+	// DroppedSubqueries / UncoveredRegions size the gap.
+	Complete bool
+	// DroppedSubqueries is the number of subqueries lost for good.
+	DroppedSubqueries int
+	// UncoveredRegions is the number of index-space regions whose
+	// answers are missing from an incomplete result.
+	UncoveredRegions int
 }
 
-func searchStats(qs core.QueryStats) SearchStats {
+func searchStats(qr *core.QueryResult) SearchStats {
+	qs := qr.Stats
 	return SearchStats{
-		Hops:           qs.Hops,
-		ResponseTime:   qs.ResponseTime(),
-		MaxLatency:     qs.MaxLatency(),
-		QueryMessages:  qs.QueryMsgs,
-		QueryBytes:     qs.QueryBytes,
-		ResultMessages: qs.ResultMsgs,
-		ResultBytes:    qs.ResultBytes,
-		IndexNodes:     qs.IndexNodes,
-		Candidates:     qs.Candidates,
-		Retries:        qs.Retries,
+		Hops:              qs.Hops,
+		ResponseTime:      qs.ResponseTime(),
+		MaxLatency:        qs.MaxLatency(),
+		QueryMessages:     qs.QueryMsgs,
+		QueryBytes:        qs.QueryBytes,
+		ResultMessages:    qs.ResultMsgs,
+		ResultBytes:       qs.ResultBytes,
+		IndexNodes:        qs.IndexNodes,
+		Candidates:        qs.Candidates,
+		Retries:           qs.Retries,
+		Hedges:            qs.Hedges,
+		Complete:          qr.Complete,
+		DroppedSubqueries: qr.DroppedSubqueries,
+		UncoveredRegions:  len(qr.Uncovered),
 	}
 }
 
@@ -412,7 +430,7 @@ func (ix *Index[T]) RangeSearchTraced(q T, r float64) ([]Match[T], SearchStats, 
 	for i, res := range result.Results {
 		matches[i] = Match[T]{ID: int(res.Obj), Object: ix.objects[res.Obj], Distance: res.Dist}
 	}
-	return matches, searchStats(result.Stats), result.Trace, nil
+	return matches, searchStats(result), result.Trace, nil
 }
 
 // RangeSearch returns every object within distance r of q, exactly
@@ -446,7 +464,7 @@ func (ix *Index[T]) NearestK(q T, k int) ([]Match[T], SearchStats, error) {
 	if r <= 0 {
 		r = 1
 	}
-	var agg SearchStats
+	agg := SearchStats{Complete: true}
 	for {
 		matches, stats, err := ix.search(q, r, core.QueryOpts{})
 		aggAdd(&agg, stats)
@@ -482,6 +500,11 @@ func aggAdd(agg *SearchStats, s SearchStats) {
 		agg.IndexNodes = s.IndexNodes
 	}
 	agg.Candidates += s.Candidates
+	agg.Retries += s.Retries
+	agg.Hedges += s.Hedges
+	agg.Complete = agg.Complete && s.Complete
+	agg.DroppedSubqueries += s.DroppedSubqueries
+	agg.UncoveredRegions += s.UncoveredRegions
 }
 
 func (ix *Index[T]) search(q T, r float64, opts core.QueryOpts) ([]Match[T], SearchStats, error) {
@@ -507,7 +530,7 @@ func (ix *Index[T]) search(q T, r float64, opts core.QueryOpts) ([]Match[T], Sea
 			Distance: res.Dist,
 		}
 	}
-	return matches, searchStats(result.Stats), nil
+	return matches, searchStats(result), nil
 }
 
 // liveOpTimeout bounds one protocol operation on a live platform. Far
@@ -535,5 +558,5 @@ func (ix *Index[T]) liveSearch(q T, r float64, opts core.QueryOpts) ([]Match[T],
 	for i, res := range result.Results {
 		matches[i] = Match[T]{ID: int(res.Obj), Object: ix.objects[res.Obj], Distance: res.Dist}
 	}
-	return matches, searchStats(result.Stats), result.Trace, nil
+	return matches, searchStats(result), result.Trace, nil
 }

@@ -153,6 +153,7 @@ func parseAllow(text string) (analyzer string, fileWide bool, ok bool) {
 var liveCapable = []string{
 	"landmarkdht/internal/runtime/livert",
 	"landmarkdht/cmd/lmlive",
+	"landmarkdht/cmd/lmchaos",
 }
 
 // LiveCapable reports whether the package with the given import path is

@@ -3,6 +3,8 @@ package chord
 import (
 	"math/rand"
 	"time"
+
+	"landmarkdht/internal/runtime"
 )
 
 // FaultPlan is a seeded, deterministic fault-injection policy attached
@@ -28,6 +30,7 @@ import (
 // events, driven by the harness through System.CrashNode / JoinNode.
 type FaultPlan struct {
 	drop       [numKinds]float64
+	dup        float64
 	jitter     time.Duration
 	spikeProb  float64
 	spikeDelay time.Duration
@@ -36,13 +39,26 @@ type FaultPlan struct {
 	// Dropped counts messages lost to injected loss or partitions,
 	// by kind. Read-only for callers.
 	Dropped [numKinds]int64
+	// Duplicated counts messages delivered twice. Read-only.
+	Duplicated int64
 }
 
 // partitionWindow separates a host group from everything else during
-// [from, to).
+// [from, to) — once, or repeating with period every.
 type partitionWindow struct {
-	hosts    map[int]bool
-	from, to time.Duration
+	hosts           map[int]bool
+	from, to, every time.Duration
+}
+
+// active reports whether the window is partitioning at time now.
+func (p partitionWindow) active(now time.Duration) bool {
+	if now < p.from {
+		return false
+	}
+	if p.every > 0 {
+		return (now-p.from)%p.every < p.to-p.from
+	}
+	return now < p.to
 }
 
 // NewFaultPlan returns an empty plan (no faults). Configure it with the
@@ -81,11 +97,29 @@ func (f *FaultPlan) Spike(p float64, d time.Duration) *FaultPlan {
 // network during the window [from, to) of simulated time: any message
 // with exactly one endpoint inside the group is lost.
 func (f *FaultPlan) Partition(hosts []int, from, to time.Duration) *FaultPlan {
+	return f.PartitionEvery(hosts, from, to, 0)
+}
+
+// PartitionEvery is Partition with a repeating window: starting at
+// from, the group is cut off for to-from out of every `every` elapsed
+// (every = 0 degenerates to a single window).
+func (f *FaultPlan) PartitionEvery(hosts []int, from, to, every time.Duration) *FaultPlan {
 	set := make(map[int]bool, len(hosts))
 	for _, h := range hosts {
 		set[h] = true
 	}
-	f.partitions = append(f.partitions, partitionWindow{hosts: set, from: from, to: to})
+	f.partitions = append(f.partitions, partitionWindow{hosts: set, from: from, to: to, every: every})
+	return f
+}
+
+// Duplicate makes each query and acknowledgement message delivered
+// twice with probability p — the kinds whose receive paths are
+// idempotent by protocol design (subquery units and result merges
+// settle exactly once; a duplicate ack is a no-op). Duplicating
+// storage-mutating kinds would require receiver-side dedup state the
+// paper's protocol does not carry, so those kinds are never doubled.
+func (f *FaultPlan) Duplicate(p float64) *FaultPlan {
+	f.dup = p
 	return f
 }
 
@@ -105,7 +139,7 @@ func (f *FaultPlan) TotalDropped() int64 {
 // probabilities.
 func (f *FaultPlan) lost(rng *rand.Rand, kind MsgKind, fromHost, toHost int, now time.Duration) bool {
 	for _, p := range f.partitions {
-		if now >= p.from && now < p.to && p.hosts[fromHost] != p.hosts[toHost] {
+		if p.active(now) && p.hosts[fromHost] != p.hosts[toHost] {
 			f.Dropped[kind]++
 			return true
 		}
@@ -128,4 +162,45 @@ func (f *FaultPlan) extraDelay(rng *rand.Rand) time.Duration {
 		d += f.spikeDelay
 	}
 	return d
+}
+
+// duplicated decides whether a surviving message is delivered twice.
+// Like lost, it consumes a draw only when duplication is configured
+// and the kind is eligible, keeping disabled configurations
+// byte-identical.
+func (f *FaultPlan) duplicated(rng *rand.Rand, kind MsgKind) bool {
+	if f.dup <= 0 {
+		return false
+	}
+	switch kind {
+	case KindQuery, KindAck:
+	default:
+		return false
+	}
+	if rng.Float64() < f.dup {
+		f.Duplicated++
+		return true
+	}
+	return false
+}
+
+// FaultPlanFromPolicy translates the runtime-agnostic fault policy
+// (internal/runtime.FaultPolicy) into a chord fault plan — the
+// delegation that lets one policy drive both runtimes: the
+// protocol-level faults (drop, duplicate, delay, partition) inject
+// here, identically over the simulated and the live transport, while
+// the policy's transport-level faults (frame drops, connection kills)
+// are consumed by the live transport itself. A zero policy produces a
+// plan that never draws from the random source, so replay stays
+// byte-identical to running with no plan at all.
+func FaultPlanFromPolicy(p *runtime.FaultPolicy) *FaultPlan {
+	f := NewFaultPlan().
+		DropAll(p.Drop).
+		Jitter(p.Jitter).
+		Spike(p.SpikeProb, p.SpikeDelay).
+		Duplicate(p.Duplicate)
+	for _, w := range p.Partitions {
+		f.PartitionEvery(w.Hosts, w.From, w.To, w.Every)
+	}
+	return f
 }

@@ -334,6 +334,17 @@ func (n *Network) send(from *Node, to ID, kind MsgKind, bytes int, payload []byt
 	m := n.acquireInflight()
 	m.net, m.from, m.to, m.deliver, m.failed = n, from, to, deliver, failed
 	n.tr.Send(uint64(to), delay, payload, runInflight, m)
+	if f := n.cfg.Faults; f != nil && f.duplicated(n.rt.Rand(), kind) {
+		// A spurious retransmission: the copy is charged like any other
+		// message and arrives after twice the original's delay, on its
+		// own pooled record. Its failed callback is nil — losing a
+		// duplicate means nothing, and firing the real one twice would
+		// double-account the loss.
+		n.traffic.Add(kind, bytes)
+		d := n.acquireInflight()
+		d.net, d.from, d.to, d.deliver, d.failed = n, from, to, deliver, nil
+		n.tr.Send(uint64(to), 2*delay, payload, runInflight, d)
+	}
 }
 
 // inflight is one in-transit message: the prebound per-event state for

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"landmarkdht/internal/lph"
+	"landmarkdht/internal/query"
 	"landmarkdht/internal/sim"
 )
 
@@ -101,6 +102,9 @@ type QueryStats struct {
 	// Retries is the number of retransmissions the reliability layer
 	// issued for this query's subquery and result messages.
 	Retries int
+	// Hedges is the number of hedged duplicate subqueries the
+	// resilience layer shipped for this query (Config.Hedge).
+	Hedges int
 }
 
 // ResponseTime returns FirstResult - Issued.
@@ -117,6 +121,20 @@ type QueryResult struct {
 	Stats   QueryStats
 	// Trace is the execution record when QueryOpts.Trace was set.
 	Trace *Trace
+	// Complete reports whether every region of the query's index space
+	// was answered: no subquery was dropped and no deadline expired
+	// with work outstanding. A complete result is exact; an incomplete
+	// one is a subset of the exact answer, with the missing index-space
+	// regions listed in Uncovered.
+	Complete bool
+	// DroppedSubqueries counts this query's subqueries lost to churn,
+	// message loss, the hop guard, or exhausted retries.
+	DroppedSubqueries int
+	// Uncovered lists the index-space regions that were never answered
+	// (dropped, or still outstanding when the deadline expired). A
+	// caller can re-issue exactly these regions instead of the whole
+	// query. Empty iff Complete.
+	Uncovered []query.Region
 }
 
 // MessageModel is the paper's §4.1 byte accounting: a query message

@@ -28,7 +28,12 @@ import (
 // injected message loss and jitter (engine RNG draws per message),
 // retransmission timers, replica repair (map-heavy placement code),
 // and multi-scheme store iteration.
-func seedStabilityTrace(t *testing.T, seed int64) string {
+//
+// With resilient set, the workload additionally turns on the query-
+// resilience machinery — per-query deadlines, subquery hedging to
+// successor replicas, and query/ack duplication — whose timers and
+// random draws must be just as seed-stable.
+func seedStabilityTrace(t *testing.T, seed int64, resilient bool) string {
 	t.Helper()
 	const (
 		nNodes = 24
@@ -45,6 +50,11 @@ func seedStabilityTrace(t *testing.T, seed int64) string {
 		DropAll(0.05).
 		Jitter(20*time.Millisecond).
 		Spike(0.02, 150*time.Millisecond)
+	if resilient {
+		cfg.Chord.Faults.Duplicate(0.05)
+		cfg.Deadline = 20 * time.Second
+		cfg.Hedge = HedgeConfig{Delay: 200 * time.Millisecond}
+	}
 	sys := NewSystem(eng, model, cfg)
 
 	rng := rand.New(rand.NewSource(seed + 2))
@@ -146,10 +156,10 @@ func seedStabilityTrace(t *testing.T, seed int64) string {
 	for qi := 6; qi < 12; qi++ {
 		runQuery(qi)
 	}
-	fmt.Fprintf(&b, "loads=%v total=%d dropped=%d retries=%d recovered=%d injected=%d\n",
+	fmt.Fprintf(&b, "loads=%v total=%d dropped=%d retries=%d recovered=%d injected=%d hedges=%d duplicated=%d\n",
 		sys.Loads(), sys.TotalEntries(),
 		sys.DroppedSubqueries, sys.RetriesIssued, sys.RecoveredSubqueries,
-		cfg.Chord.Faults.TotalDropped())
+		cfg.Chord.Faults.TotalDropped(), sys.HedgesIssued, cfg.Chord.Faults.Duplicated)
 	fmt.Fprintf(&b, "engine now=%v processed=%d\n", eng.Now(), eng.Processed())
 	return b.String()
 }
@@ -158,14 +168,41 @@ func seedStabilityTrace(t *testing.T, seed int64) string {
 // must yield byte-identical traces, and a different seed must not (so
 // the assertion is not vacuous).
 func TestSeedStability(t *testing.T) {
-	first := seedStabilityTrace(t, 42)
-	second := seedStabilityTrace(t, 42)
+	first := seedStabilityTrace(t, 42, false)
+	second := seedStabilityTrace(t, 42, false)
 	if first != second {
 		t.Fatalf("same seed produced different traces:\n%s", firstDiff(first, second))
 	}
-	other := seedStabilityTrace(t, 43)
+	other := seedStabilityTrace(t, 43, false)
 	if other == first {
 		t.Fatal("different seeds produced identical traces; the stability assertion is vacuous")
+	}
+	// With resilience off, nothing in the trace may mention its
+	// machinery: the deadline/hedge timers and duplication draws must
+	// not exist, let alone fire.
+	for _, s := range []string{string(TraceHedge), string(TraceDeadline)} {
+		if strings.Contains(first, " "+s+" ") {
+			t.Fatalf("resilience-free trace mentions %q", s)
+		}
+	}
+	if !strings.Contains(first, "hedges=0 duplicated=0") {
+		t.Fatal("resilience-free run issued hedges or duplications")
+	}
+}
+
+// TestSeedStabilityResilient repeats the seed-stability contract with
+// deadlines, hedging and message duplication switched on: the extra
+// timers and random draws must be a pure function of the seed too, and
+// must actually change the execution (the knobs are not dead).
+func TestSeedStabilityResilient(t *testing.T) {
+	first := seedStabilityTrace(t, 42, true)
+	second := seedStabilityTrace(t, 42, true)
+	if first != second {
+		t.Fatalf("same seed produced different traces:\n%s", firstDiff(first, second))
+	}
+	plain := seedStabilityTrace(t, 42, false)
+	if plain == first {
+		t.Fatal("resilience knobs changed nothing; the variant is vacuous")
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/lph"
 	"landmarkdht/internal/query"
+	"landmarkdht/internal/runtime"
 	"landmarkdht/internal/wire"
 )
 
@@ -29,6 +31,114 @@ type activeQuery struct {
 	finished bool
 	gotFirst bool
 	trace    *Trace
+	// Resilience bookkeeping. Every live subquery region holds a
+	// token; settling a token (answer or drop) is idempotent, which is
+	// what lets hedged duplicates and post-deadline stragglers arrive
+	// without corrupting the pending count or the result set. The
+	// outstanding list exists only when a deadline or hedging is
+	// configured, so the default path allocates nothing extra.
+	nextTok     int
+	outstanding []pendingRegion
+	dropped     int
+	uncovered   []query.Region
+	expired     bool
+	deadline    runtime.Timer
+}
+
+// pendingRegion pairs a subquery region with its settlement token.
+// chains counts the independent delivery attempts able to answer it:
+// 1 for the original shipment, +1 per hedge. A loss only settles the
+// token as dropped when its last chain dies.
+type pendingRegion struct {
+	tok    int
+	reg    query.Region
+	chains int
+}
+
+// tracking reports whether outstanding regions are tracked (a deadline
+// or hedging is configured for this query).
+func (aq *activeQuery) tracking() bool { return aq.outstanding != nil }
+
+// newToken registers one more outstanding subquery region and returns
+// its settlement token.
+func (aq *activeQuery) newToken(reg query.Region) int {
+	aq.nextTok++
+	aq.pending++
+	if aq.outstanding != nil {
+		aq.outstanding = append(aq.outstanding, pendingRegion{tok: aq.nextTok, reg: reg, chains: 1})
+	}
+	return aq.nextTok
+}
+
+// addChain records one more delivery chain (a hedge) for a token.
+func (aq *activeQuery) addChain(tok int) {
+	for i := range aq.outstanding {
+		if aq.outstanding[i].tok == tok {
+			aq.outstanding[i].chains++
+			return
+		}
+	}
+}
+
+// lastChain records the death of one delivery chain for a token and
+// reports whether no chain remains — only then is the token truly
+// lost. An already-settled token reports true; the caller's settle is
+// the no-op that filters it.
+func (aq *activeQuery) lastChain(tok int) bool {
+	for i := range aq.outstanding {
+		if aq.outstanding[i].tok == tok {
+			aq.outstanding[i].chains--
+			return aq.outstanding[i].chains <= 0
+		}
+	}
+	return true
+}
+
+// moveToken records that a token's region was refined in place, so a
+// deadline snapshot reports the region actually outstanding.
+func (aq *activeQuery) moveToken(tok int, reg query.Region) {
+	for i := range aq.outstanding {
+		if aq.outstanding[i].tok == tok {
+			aq.outstanding[i].reg = reg
+			return
+		}
+	}
+}
+
+// settle resolves a token, reporting false when it was already settled
+// (a hedged duplicate or a stale retransmission) — the caller must
+// then ignore the answer entirely. With tracking off, every delivery
+// path is made idempotent by sqUnit.delivered flags, so each settle is
+// necessarily the first.
+func (aq *activeQuery) settle(tok int) bool {
+	if aq.outstanding == nil {
+		aq.pending--
+		return true
+	}
+	for i := range aq.outstanding {
+		if aq.outstanding[i].tok == tok {
+			aq.outstanding = append(aq.outstanding[:i], aq.outstanding[i+1:]...)
+			aq.pending--
+			return true
+		}
+	}
+	return false
+}
+
+// stillOutstanding reports whether a tracked token has not settled.
+func (aq *activeQuery) stillOutstanding(tok int) bool {
+	for i := range aq.outstanding {
+		if aq.outstanding[i].tok == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// stale reports whether work on a token is moot: the query finished
+// (deadline expiry) or the token settled elsewhere (a hedge won).
+func (aq *activeQuery) stale(tok int) bool {
+	return aq.finished || (aq.tracking() && !aq.stillOutstanding(tok))
 }
 
 // QueryOpts tunes one query.
@@ -41,6 +151,11 @@ type QueryOpts struct {
 	// Trace records the query's distributed execution (routing steps,
 	// splits, refinements, local answers) in QueryResult.Trace.
 	Trace bool
+	// Deadline, when positive, bounds this query's total time,
+	// overriding Config.Deadline. On expiry the query finishes with
+	// whatever arrived, marked incomplete, and the still-outstanding
+	// regions reported in QueryResult.Uncovered.
+	Deadline time.Duration
 }
 
 // RangeQuery issues the near-neighbor query (payload, r) on index
@@ -78,7 +193,6 @@ func (s *System) RangeQuery(indexName string, srcID chord.ID, payload any, cente
 		r:        r,
 		topK:     opts.TopK,
 		srcID:    srcID,
-		pending:  1,
 		results:  make(map[ObjectID]float64),
 		answered: make(map[chord.ID]bool),
 		done:     done,
@@ -87,8 +201,46 @@ func (s *System) RangeQuery(indexName string, srcID chord.ID, payload any, cente
 		aq.trace = &Trace{}
 	}
 	aq.stats.Issued = s.rt.Now()
-	s.routeAt(src, aq, region, 0)
+	tok := s.beginResilience(aq, opts, region)
+	s.routeAt(src, aq, region, 0, tok)
 	return nil
+}
+
+// beginResilience sets up a query's outstanding-region tracking and
+// deadline timer according to the effective resilience knobs, and
+// issues the token for its initial region. With all knobs zero it
+// degenerates to a bare newToken: no tracking list, no timer, no extra
+// allocations, and — because the deadline timer is the only new event
+// source — a byte-identical simulation schedule.
+func (s *System) beginResilience(aq *activeQuery, opts QueryOpts, region query.Region) int {
+	dl := opts.Deadline
+	if dl == 0 {
+		dl = s.cfg.Deadline
+	}
+	if dl > 0 || s.cfg.Hedge.Enabled() {
+		aq.outstanding = make([]pendingRegion, 0, 4)
+	}
+	tok := aq.newToken(region)
+	if dl > 0 {
+		aq.deadline = s.rt.AfterFunc(dl, func() { s.expireQuery(aq) })
+	}
+	return tok
+}
+
+// expireQuery ends a query at its deadline: the regions still
+// outstanding become the Uncovered list and the query finishes with
+// whatever results arrived, honestly marked incomplete.
+func (s *System) expireQuery(aq *activeQuery) {
+	if aq.finished {
+		return
+	}
+	aq.expired = true
+	for _, pr := range aq.outstanding {
+		aq.uncovered = append(aq.uncovered, pr.reg.Clone())
+	}
+	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: aq.srcID, Action: TraceDeadline,
+		Hops: aq.stats.Hops})
+	s.finish(aq)
 }
 
 // queryRegion converts a query center and range into the index-space
@@ -109,34 +261,37 @@ func queryRegion(ix *Index, center []float64, r float64) (query.Region, error) {
 
 // routeAt is Algorithm 3 (QueryRouting) executing at node n with the
 // query q at hop depth hops.
-func (s *System) routeAt(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
+func (s *System) routeAt(n *IndexNode, aq *activeQuery, q query.Region, hops int, tok int) {
 	if hops > s.cfg.MaxHops {
 		aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceDrop,
 			PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
-		s.dropSubquery(aq)
+		s.dropSubquery(aq, q, tok)
 		return
 	}
 	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceRoute,
 		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
-	var list []query.Region
+	var list []pendingRegion
 	if q.PreLen == lph.M {
-		list = []query.Region{q}
+		list = []pendingRegion{{tok: tok, reg: q}}
 	} else {
 		subs := query.Split(s.ix(aq).Part, q, q.PreLen+1)
 		if len(subs) == 1 {
 			// The query lies in one half: forward the refined query
 			// (equivalent to forwarding q; the prefix is just longer).
-			list = subs
+			aq.moveToken(tok, subs[0])
+			list = []pendingRegion{{tok: tok, reg: subs[0]}}
 		} else {
 			n1 := n.node.NextHop(s.ring(aq, subs[0].PreKey))
 			n2 := n.node.NextHop(s.ring(aq, subs[1].PreKey))
 			if n1 == n2 {
 				// Both halves share the next hop: ship the whole query
 				// onward as one unit (lowest-common-ancestor routing).
-				list = []query.Region{q}
+				list = []pendingRegion{{tok: tok, reg: q}}
 			} else {
-				aq.pending++ // one region became two
-				list = subs
+				// One region became two.
+				aq.moveToken(tok, subs[0])
+				tok2 := aq.newToken(subs[1])
+				list = []pendingRegion{{tok: tok, reg: subs[0]}, {tok: tok2, reg: subs[1]}}
 			}
 		}
 	}
@@ -145,11 +300,19 @@ func (s *System) routeAt(n *IndexNode, aq *activeQuery, q query.Region, hops int
 
 // sqUnit tracks one subquery region across delivery attempts. The
 // delivered flag makes the receive path idempotent: duplicates caused
-// by premature timeouts or lost acknowledgements are ignored, so
-// aq.pending is decremented exactly once per unit.
+// by premature timeouts or lost acknowledgements are ignored, so each
+// unit's token is settled exactly once.
 type sqUnit struct {
 	reg       query.Region
+	tok       int
 	delivered bool
+}
+
+// destKey identifies one dispatch destination and the mode the query
+// is delivered in there (routing vs. surrogate refinement).
+type destKey struct {
+	id        chord.ID
+	surrogate bool
 }
 
 // dispatch groups subqueries by destination and ships each group as a
@@ -159,11 +322,7 @@ type sqUnit struct {
 // linear scans over fixed-size arrays instead of a map: one backing
 // sqUnit allocation for the whole list, and first-seen destination
 // order (deterministic, same as the previous map+order form).
-func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, hops int) {
-	type destKey struct {
-		id        chord.ID
-		surrogate bool
-	}
+func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []pendingRegion, hops int) {
 	arr := make([]sqUnit, 0, len(list))
 	var (
 		dests  [2]destKey
@@ -171,10 +330,10 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 		nd     int
 	)
 	for _, sq := range list {
-		rk := s.ring(aq, sq.PreKey)
+		rk := s.ring(aq, sq.reg.PreKey)
 		if n.node.OwnsKey(rk) {
 			// This node is itself the surrogate for the subquery.
-			s.surrogateRefine(n, aq, sq, hops)
+			s.surrogateRefine(n, aq, sq.reg, hops, sq.tok)
 			continue
 		}
 		nh := n.node.NextHop(rk)
@@ -186,7 +345,16 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 		} else {
 			d = destKey{id: nh, surrogate: false}
 		}
-		arr = append(arr, sqUnit{reg: sq})
+		if s.cfg.Hedge.Enabled() && s.suspicion[d.id] >= s.cfg.Hedge.SuspicionThreshold {
+			if alt, ok := s.suspectAlternate(aq, d); ok {
+				// Each avoidance spends one unit of suspicion, so a
+				// recovered node is probed again after at most
+				// SuspicionThreshold redirections.
+				s.suspicion[d.id]--
+				d = alt
+			}
+		}
+		arr = append(arr, sqUnit{reg: sq.reg, tok: sq.tok})
 		gi := -1
 		for i := 0; i < nd; i++ {
 			if dests[i] == d {
@@ -205,8 +373,28 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 		groups[gi] = append(groups[gi], &arr[len(arr)-1])
 	}
 	for i := 0; i < nd; i++ {
-		s.ship(n, aq, dests[i].id, dests[i].surrogate, groups[i], hops, 0)
+		s.ship(n, aq, dests[i].id, dests[i].surrogate, groups[i], hops, 0, false)
 	}
+}
+
+// suspectAlternate picks the replacement destination for a suspected-
+// dead node: its successor. Routing-mode deliveries can continue at
+// any node, so the redirection is always sound there; a surrogate-mode
+// delivery is answered from the alternate's local store, which is only
+// sound when the index keeps replicas.
+func (s *System) suspectAlternate(aq *activeQuery, d destKey) (destKey, bool) {
+	in, ok := s.nodes[d.id]
+	if !ok {
+		return destKey{}, false
+	}
+	succ := in.node.Successor()
+	if succ == d.id {
+		return destKey{}, false
+	}
+	if d.surrogate && s.replicated[aq.ix.Name] < 2 {
+		return destKey{}, false
+	}
+	return destKey{id: succ, surrogate: d.surrogate}, true
 }
 
 // ship transmits one query message carrying the given subquery units to
@@ -215,8 +403,10 @@ func (s *System) dispatch(n *IndexNode, aq *activeQuery, list []query.Region, ho
 // callback and the units are dropped. With it on, the receiver
 // acknowledges the message; if the ack does not arrive within the
 // retransmission timeout, shipTimeout re-resolves each still-undelivered
-// unit's owner and retransmits with exponential backoff.
-func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bool, units []*sqUnit, hops, attempt int) {
+// unit's owner and retransmits with exponential backoff. hedge marks a
+// hedged duplicate: it is traced as such and never arms its own hedge
+// timer (hedges do not cascade).
+func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bool, units []*sqUnit, hops, attempt int, hedge bool) {
 	undelivered := 0
 	for _, u := range units {
 		if !u.delivered {
@@ -251,7 +441,7 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 		if err != nil {
 			for _, u := range live {
 				u.delivered = true
-				s.dropSubquery(aq)
+				s.dropSubquery(aq, u.reg, u.tok)
 			}
 			return
 		}
@@ -262,7 +452,12 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 	aq.stats.QueryMsgs++
 	aq.stats.QueryBytes += int64(bytes)
 	action := TraceForward
-	if attempt > 0 {
+	switch {
+	case hedge:
+		action = TraceHedge
+		s.HedgesIssued += len(live)
+		aq.stats.Hedges += len(live)
+	case attempt > 0:
 		action = TraceRetry
 		s.RetriesIssued++
 		aq.stats.Retries++
@@ -280,7 +475,7 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 				for _, u := range live {
 					if !u.delivered {
 						u.delivered = true
-						s.dropSubquery(aq)
+						s.dropSubquery(aq, u.reg, u.tok)
 					}
 				}
 				return
@@ -292,6 +487,9 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 				continue // duplicate of an already-processed unit
 			}
 			u.delivered = true
+			if aq.stale(u.tok) {
+				continue // settled elsewhere: a hedge won, or the deadline hit
+			}
 			if attempt > 0 {
 				s.RecoveredSubqueries++
 			}
@@ -300,9 +498,9 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 				reg = use[i]
 			}
 			if surrogate {
-				s.surrogateRefine(in, aq, reg, hops+1)
+				s.surrogateRefine(in, aq, reg, hops+1, u.tok)
 			} else {
-				s.routeAt(in, aq, reg, hops+1)
+				s.routeAt(in, aq, reg, hops+1, u.tok)
 			}
 		}
 	}
@@ -317,28 +515,105 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 			s.net.SendOrFail(n.node, dest, chord.KindQuery, bytes, onDeliver, onFail)
 		}
 	}
+	if attempt == 0 && !hedge && s.cfg.Hedge.Enabled() {
+		s.armHedge(n, aq, dest, live, hops)
+	}
 	if !s.cfg.Retry.Enabled() {
 		sendQuery(deliver, func() {
 			for _, u := range live {
 				if !u.delivered {
 					u.delivered = true
-					s.dropSubquery(aq)
+					s.dropSubquery(aq, u.reg, u.tok)
 				}
 			}
 		})
 		return
 	}
 	timer := s.rt.AfterFunc(s.retryTimeout(attempt), func() {
-		s.shipTimeout(n, aq, live, hops, attempt)
+		s.shipTimeout(n, aq, dest, live, hops, attempt)
 	})
 	sendQuery(func(dst *chord.Node) {
 		// Acknowledge first (duplicates too: the sender's timer must
 		// stop either way), then process the undelivered units.
 		s.net.SendOrFail(dst, n.node.ID(), chord.KindAck, s.cfg.Retry.AckBytes, func(*chord.Node) {
 			timer.Stop()
+			s.unsuspect(dest)
 		}, nil)
 		deliver(dst)
 	}, nil)
+}
+
+// armHedge schedules the hedge check for a freshly shipped group of
+// subquery units: any still outstanding after the hedge delay get a
+// duplicate shipped toward their region owner's replica.
+func (s *System) armHedge(n *IndexNode, aq *activeQuery, dest chord.ID, units []*sqUnit, hops int) {
+	if aq.stats.Hedges >= s.cfg.Hedge.MaxPerQuery {
+		return
+	}
+	s.rt.AfterFunc(s.cfg.Hedge.Delay, func() {
+		s.hedgeFire(n, aq, dest, units, hops)
+	})
+}
+
+// hedgeFire runs when a group's hedge delay elapses. Each unit whose
+// token is still outstanding is duplicated to the first replica of its
+// region's current owner (the owner itself when the index keeps no
+// replicas) in surrogate mode, and the original destination gains one
+// unit of suspicion. Token settlement guarantees whichever copy
+// answers first wins and the other is ignored.
+func (s *System) hedgeFire(n *IndexNode, aq *activeQuery, dest chord.ID, units []*sqUnit, hops int) {
+	if aq.finished || !n.node.Alive() {
+		return
+	}
+	var (
+		groups map[chord.ID][]*sqUnit
+		order  []chord.ID // deterministic hedge-ship order
+		queued int
+	)
+	suspected := false
+	for _, u := range units {
+		if !aq.stillOutstanding(u.tok) {
+			continue
+		}
+		if aq.stats.Hedges+queued >= s.cfg.Hedge.MaxPerQuery {
+			break
+		}
+		if !suspected {
+			suspected = true
+			s.suspect(dest)
+		}
+		owner, err := s.net.SuccessorID(s.ring(aq, u.reg.PreKey))
+		if err != nil {
+			continue
+		}
+		target := owner
+		if s.replicated[aq.ix.Name] >= 2 {
+			if in, ok := s.nodes[owner]; ok {
+				if succ := in.node.Successor(); succ != owner {
+					target = succ
+				}
+			}
+		}
+		if target == n.node.ID() {
+			continue // we are the alternate ourselves: nothing to hedge to
+		}
+		if groups == nil {
+			groups = make(map[chord.ID][]*sqUnit)
+		}
+		if _, seen := groups[target]; !seen {
+			order = append(order, target)
+		}
+		// A fresh unit: the original keeps its own delivered flag, the
+		// shared token arbitrates which copy's answer counts. The extra
+		// chain keeps a later primary-side loss from settling a token
+		// this hedge can still answer.
+		groups[target] = append(groups[target], &sqUnit{reg: u.reg, tok: u.tok})
+		aq.addChain(u.tok)
+		queued++
+	}
+	for _, t := range order {
+		s.ship(n, aq, t, true, groups[t], hops, 0, true)
+	}
 }
 
 // shipTimeout runs when a query message's ack timer fires: any units
@@ -346,22 +621,28 @@ func (s *System) ship(n *IndexNode, aq *activeQuery, dest chord.ID, surrogate bo
 // prefix key — under ReplicateAll placement, the first live replica of
 // a crashed owner — and retransmitted, or dropped once retries are
 // exhausted (or the sender itself died).
-func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hops, attempt int) {
+func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, dest chord.ID, units []*sqUnit, hops, attempt int) {
 	var remaining []*sqUnit
 	for _, u := range units {
-		if !u.delivered {
-			remaining = append(remaining, u)
+		if u.delivered {
+			continue
 		}
+		if aq.stale(u.tok) {
+			u.delivered = true // settled elsewhere: nothing left to retry
+			continue
+		}
+		remaining = append(remaining, u)
 	}
 	if len(remaining) == 0 {
 		return
 	}
+	s.suspect(dest)
 	if attempt >= s.cfg.Retry.MaxRetries || !n.node.Alive() {
 		for _, u := range remaining {
 			u.delivered = true
 			aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceDrop,
 				PreKey: u.reg.PreKey, PreLen: u.reg.PreLen, Hops: hops})
-			s.dropSubquery(aq)
+			s.dropSubquery(aq, u.reg, u.tok)
 		}
 		return
 	}
@@ -374,7 +655,7 @@ func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hop
 		owner, err := s.net.SuccessorID(s.ring(aq, u.reg.PreKey))
 		if err != nil {
 			u.delivered = true
-			s.dropSubquery(aq)
+			s.dropSubquery(aq, u.reg, u.tok)
 			continue
 		}
 		if _, seen := groups[owner]; !seen {
@@ -382,8 +663,8 @@ func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hop
 		}
 		groups[owner] = append(groups[owner], u)
 	}
-	for _, dest := range order {
-		s.ship(n, aq, dest, true, groups[dest], hops, attempt+1)
+	for _, dst := range order {
+		s.ship(n, aq, dst, true, groups[dst], hops, attempt+1, false)
 	}
 }
 
@@ -403,11 +684,11 @@ func (s *System) shipTimeout(n *IndexNode, aq *activeQuery, units []*sqUnit, hop
 // *lower* sibling cuboids it also covers — the local answer scans the
 // full incoming cube. Entries are partitioned across nodes by key, so
 // the wider local scan cannot duplicate results from other nodes.
-func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
+func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, hops int, tok int) {
 	if hops > s.cfg.MaxHops {
 		aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceDrop,
 			PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops})
-		s.dropSubquery(aq)
+		s.dropSubquery(aq, q, tok)
 		return
 	}
 	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: n.node.ID(), Action: TraceRefine,
@@ -420,8 +701,8 @@ func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, 
 		for z := lph.FirstZeroBitAfter(vid, q.PreLen); z != 0; z = lph.FirstZeroBitAfter(vid, z) {
 			upper := lph.SetBit(lph.Prefix(vid, z-1), z)
 			if sub, ok := query.Restrict(part, q, upper, z); ok {
-				aq.pending++
-				s.routeAt(n, aq, sub, hops)
+				subTok := aq.newToken(sub)
+				s.routeAt(n, aq, sub, hops, subTok)
 			}
 		}
 	}
@@ -429,12 +710,12 @@ func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, 
 	// cuboid, so no node exists inside it and this node covers the
 	// whole region (Algorithm 5 lines 1–3). Either way, answer the
 	// covered part locally.
-	s.answerLocal(n, aq, q, hops)
+	s.answerLocal(n, aq, q, hops, tok)
 }
 
 // answerLocal resolves one subquery against the node's local store and
 // ships the result back to the querier.
-func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops int) {
+func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops int, tok int) {
 	if hops > aq.stats.Hops {
 		aq.stats.Hops = hops
 	}
@@ -465,7 +746,7 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 		Candidates: len(cands), Returned: len(local)})
 	if nodeID == aq.srcID {
 		// The querier is itself an index node for this region.
-		s.mergeResult(aq, nodeID, local)
+		s.mergeResult(aq, nodeID, local, tok)
 		return
 	}
 	var bytes int
@@ -494,14 +775,14 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 	aq.stats.ResultMsgs++
 	aq.stats.ResultBytes += int64(bytes)
 	if s.cfg.Retry.Enabled() {
-		s.sendResultReliably(n, aq, nodeID, local, payload, bytes)
+		s.sendResultReliably(n, aq, nodeID, local, q, tok, payload, bytes)
 		return
 	}
 	s.sendResult(n, aq, payload, bytes, func(*chord.Node) {
-		s.mergeResult(aq, nodeID, local)
+		s.mergeResult(aq, nodeID, local, tok)
 	}, func() {
 		// The querier itself left (only possible under heavy churn).
-		s.dropSubquery(aq)
+		s.dropSubquery(aq, q, tok)
 	})
 }
 
@@ -520,7 +801,7 @@ func (s *System) sendResult(n *IndexNode, aq *activeQuery, payload []byte, bytes
 // fixed — a result only makes sense at the querier — so exhausted
 // retries (the querier or the answering node died) surface as a dropped
 // subquery.
-func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID, local []Result, payload []byte, bytes int) {
+func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID, local []Result, q query.Region, tok int, payload []byte, bytes int) {
 	delivered := false
 	var send func(attempt int)
 	send = func(attempt int) {
@@ -534,9 +815,13 @@ func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID
 			if delivered {
 				return
 			}
+			if aq.stale(tok) {
+				delivered = true // settled elsewhere: stop retrying
+				return
+			}
 			if attempt >= s.cfg.Retry.MaxRetries || !n.node.Alive() {
 				delivered = true
-				s.dropSubquery(aq)
+				s.dropSubquery(aq, q, tok)
 				return
 			}
 			send(attempt + 1)
@@ -552,15 +837,24 @@ func (s *System) sendResultReliably(n *IndexNode, aq *activeQuery, from chord.ID
 			if attempt > 0 {
 				s.RecoveredSubqueries++
 			}
-			s.mergeResult(aq, from, local)
+			s.mergeResult(aq, from, local, tok)
 		}, nil)
 	}
 	send(0)
 }
 
 // mergeResult runs at the querier when one index node's answer
-// arrives.
-func (s *System) mergeResult(aq *activeQuery, from chord.ID, local []Result) {
+// arrives. Settling the token first makes the merge idempotent: a
+// hedged duplicate or post-deadline straggler is ignored entirely, so
+// every outstanding region is merged exactly once.
+func (s *System) mergeResult(aq *activeQuery, from chord.ID, local []Result, tok int) {
+	if aq.finished {
+		return // straggler after deadline expiry
+	}
+	if !aq.settle(tok) {
+		return // hedged duplicate: the other copy already answered
+	}
+	s.unsuspect(from)
 	now := s.rt.Now()
 	if !aq.gotFirst {
 		aq.gotFirst = true
@@ -573,17 +867,28 @@ func (s *System) mergeResult(aq *activeQuery, from chord.ID, local []Result) {
 		}
 	}
 	aq.stats.LastResult = now
-	aq.pending--
 	if aq.pending == 0 {
 		s.finish(aq)
 	}
 }
 
-// dropSubquery accounts a lost subquery and completes the query if it
-// was the last one outstanding.
-func (s *System) dropSubquery(aq *activeQuery) {
+// dropSubquery accounts a lost subquery: the region joins the query's
+// Uncovered list — so the caller sees exactly which part of the index
+// space went unanswered instead of a silently short result — and the
+// query completes if it was the last one outstanding.
+func (s *System) dropSubquery(aq *activeQuery, reg query.Region, tok int) {
+	if aq.finished {
+		return
+	}
+	if aq.tracking() && !aq.lastChain(tok) {
+		return // another delivery chain (a hedge) may still answer
+	}
+	if !aq.settle(tok) {
+		return // a hedged duplicate already answered this region
+	}
 	s.DroppedSubqueries++
-	aq.pending--
+	aq.dropped++
+	aq.uncovered = append(aq.uncovered, reg.Clone())
 	if aq.pending == 0 {
 		s.finish(aq)
 	}
@@ -594,6 +899,9 @@ func (s *System) finish(aq *activeQuery) {
 		return
 	}
 	aq.finished = true
+	if aq.deadline != nil {
+		aq.deadline.Stop()
+	}
 	out := make([]Result, 0, len(aq.results))
 	//lint:allow maporder the sort below totally orders results (Dist, then Obj)
 	for obj, d := range aq.results {
@@ -615,7 +923,14 @@ func (s *System) finish(aq *activeQuery) {
 	}
 	aq.stats.IndexNodes = len(aq.answered)
 	if aq.done != nil {
-		aq.done(&QueryResult{Results: out, Stats: aq.stats, Trace: aq.trace})
+		aq.done(&QueryResult{
+			Results:           out,
+			Stats:             aq.stats,
+			Trace:             aq.trace,
+			Complete:          aq.dropped == 0 && !aq.expired,
+			DroppedSubqueries: aq.dropped,
+			Uncovered:         aq.uncovered,
+		})
 	}
 }
 
@@ -659,7 +974,6 @@ func (s *System) NaiveRangeQuery(indexName string, srcID chord.ID, payload any, 
 		r:        r,
 		topK:     opts.TopK,
 		srcID:    srcID,
-		pending:  0,
 		results:  make(map[ObjectID]float64),
 		answered: make(map[chord.ID]bool),
 		done:     done,
@@ -688,14 +1002,27 @@ func (s *System) NaiveRangeQuery(indexName string, srcID chord.ID, payload any, 
 		}
 	}
 	decompose(region)
-	aq.pending = len(pieces)
-	if aq.pending == 0 {
+	if len(pieces) == 0 {
 		s.finish(aq)
 		return nil
 	}
+	dl := opts.Deadline
+	if dl == 0 {
+		dl = s.cfg.Deadline
+	}
+	if dl > 0 || s.cfg.Hedge.Enabled() {
+		aq.outstanding = make([]pendingRegion, 0, len(pieces))
+	}
+	toks := make([]int, len(pieces))
+	for i, sq := range pieces {
+		toks[i] = aq.newToken(sq)
+	}
+	if dl > 0 {
+		aq.deadline = s.rt.AfterFunc(dl, func() { s.expireQuery(aq) })
+	}
 	k := ix.Part.K()
-	for _, sq := range pieces {
-		sq := sq
+	for i, sq := range pieces {
+		sq, tok := sq, toks[i]
 		rk := ix.Part.Ring(sq.PreKey)
 		// One full Chord lookup per piece, then one direct query
 		// message to the owner.
@@ -703,10 +1030,19 @@ func (s *System) NaiveRangeQuery(indexName string, srcID chord.ID, payload any, 
 			bytes := s.cfg.Msg.QueryMsgBytes(1, k)
 			aq.stats.QueryMsgs += hops + 1
 			aq.stats.QueryBytes += int64(bytes * (hops + 1))
+			answered := false // idempotence against duplicated query frames
 			s.net.SendOrFail(src.node, owner, chord.KindQuery, bytes, func(dst *chord.Node) {
-				s.answerLocal(s.nodes[dst.ID()], aq, sq, hops+1)
+				if answered {
+					return
+				}
+				answered = true
+				s.answerLocal(s.nodes[dst.ID()], aq, sq, hops+1, tok)
 			}, func() {
-				s.dropSubquery(aq)
+				if answered {
+					return
+				}
+				answered = true
+				s.dropSubquery(aq, sq, tok)
 			})
 		})
 	}

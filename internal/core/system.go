@@ -35,6 +35,15 @@ type Config struct {
 	// value disables it, preserving the paper's fire-and-forget
 	// behavior (lost subqueries surface as recall loss).
 	Retry RetryConfig
+	// Deadline, when positive, bounds every query's total time
+	// (QueryOpts.Deadline overrides it per query). On expiry the query
+	// finishes with whatever results arrived, marked Complete=false,
+	// and the still-outstanding regions become QueryResult.Uncovered.
+	// Zero preserves the run-to-quiescence behavior.
+	Deadline time.Duration
+	// Hedge configures hedged retransmission of slow subqueries. The
+	// zero value disables it.
+	Hedge HedgeConfig
 }
 
 // RetryConfig tunes the reliable-delivery layer: every subquery and
@@ -60,6 +69,49 @@ type RetryConfig struct {
 
 // Enabled reports whether the reliability layer is active.
 func (rc RetryConfig) Enabled() bool { return rc.MaxRetries > 0 }
+
+// HedgeConfig tunes hedged subquery retransmission: when a subquery
+// is still unanswered Delay after it was shipped, a duplicate is sent
+// to the first replica of its region's current owner (or to the owner
+// itself when the index is not replicated — a replica-less alternate
+// could answer from an empty store and silently shrink the result).
+// The querier settles each outstanding region exactly once, so hedged
+// duplicates can only add speed, never duplicate or corrupt results.
+//
+// Hedging also feeds a per-node suspicion counter: every hedge fire
+// and every acknowledgement timeout against a node increments it, and
+// once it crosses SuspicionThreshold the router prefers the node's
+// successor as the next hop. Successful deliveries decrement the
+// counter, and so does every avoidance decision, so a recovering node
+// is probed again after at most SuspicionThreshold redirections —
+// suspicion is a bias, never a permanent blacklist.
+type HedgeConfig struct {
+	// Delay is how long a subquery may stay outstanding before it is
+	// hedged; 0 disables hedging. A good value is a high quantile of
+	// the subquery round-trip distribution (under the paper's 180 ms
+	// mean RTT, around 1–2 s).
+	Delay time.Duration
+	// MaxPerQuery bounds hedged messages per query (default 16).
+	MaxPerQuery int
+	// SuspicionThreshold is the consecutive-failure count after which
+	// the router avoids a node (default 3).
+	SuspicionThreshold int
+}
+
+// Enabled reports whether hedging is active.
+func (hc HedgeConfig) Enabled() bool { return hc.Delay > 0 }
+
+func (hc *HedgeConfig) fillDefaults() {
+	if !hc.Enabled() {
+		return
+	}
+	if hc.MaxPerQuery <= 0 {
+		hc.MaxPerQuery = 16
+	}
+	if hc.SuspicionThreshold <= 0 {
+		hc.SuspicionThreshold = 3
+	}
+}
 
 func (rc *RetryConfig) fillDefaults() {
 	if !rc.Enabled() {
@@ -114,6 +166,12 @@ type System struct {
 	// delivery succeeded on a retransmission — losses that would have
 	// been recall loss without the reliability layer.
 	RecoveredSubqueries int
+	// HedgesIssued counts hedged duplicate subqueries shipped by the
+	// resilience layer (Config.Hedge).
+	HedgesIssued int
+	// suspicion counts consecutive delivery failures per node; see
+	// HedgeConfig. Only written when hedging is enabled.
+	suspicion map[chord.ID]int
 	// scanBuf is the reusable candidate buffer for local store scans
 	// (safe because a System is single-threaded and each scan's result
 	// is consumed before the next scan runs; DESIGN.md §9).
@@ -150,6 +208,7 @@ func NewSystemRuntime(rt runtime.Runtime, tr runtime.Transport, model netmodel.M
 		cfg.Msg = DefaultMessageModel()
 	}
 	cfg.Retry.fillDefaults()
+	cfg.Hedge.fillDefaults()
 	return &System{
 		rt:         rt,
 		net:        chord.NewNetworkRuntime(rt, tr, model, cfg.Chord),
@@ -157,6 +216,31 @@ func NewSystemRuntime(rt runtime.Runtime, tr runtime.Transport, model netmodel.M
 		nodes:      make(map[chord.ID]*IndexNode),
 		index:      make(map[string]*Index),
 		replicated: make(map[string]int),
+		suspicion:  make(map[chord.ID]int),
+	}
+}
+
+// suspect records a delivery failure against a node (hedge fire or
+// acknowledgement timeout). No-op unless hedging is enabled: suspicion
+// only exists to steer the hedge policy's routing bias.
+func (s *System) suspect(id chord.ID) {
+	if !s.cfg.Hedge.Enabled() {
+		return
+	}
+	s.suspicion[id]++
+}
+
+// unsuspect decays a node's suspicion after a successful delivery.
+func (s *System) unsuspect(id chord.ID) {
+	if len(s.suspicion) == 0 {
+		return
+	}
+	if c, ok := s.suspicion[id]; ok {
+		if c <= 1 {
+			delete(s.suspicion, id)
+		} else {
+			s.suspicion[id] = c - 1
+		}
 	}
 }
 

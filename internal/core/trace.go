@@ -26,6 +26,12 @@ const (
 	// TraceRetry is a retransmission by the reliable-delivery layer
 	// after an acknowledgement timeout.
 	TraceRetry TraceAction = "retry"
+	// TraceHedge is a hedged duplicate of a still-outstanding subquery
+	// shipped to the region owner's replica after the hedge delay.
+	TraceHedge TraceAction = "hedge"
+	// TraceDeadline is a query expiring at its deadline with work
+	// outstanding; the unanswered regions become QueryResult.Uncovered.
+	TraceDeadline TraceAction = "deadline"
 )
 
 // TraceEvent is one step in a query's execution tree. The sequence of
@@ -48,7 +54,7 @@ type TraceEvent struct {
 // String renders one event compactly.
 func (e TraceEvent) String() string {
 	switch e.Action {
-	case TraceForward:
+	case TraceForward, TraceHedge:
 		return fmt.Sprintf("%9v hop%-2d %-7s node %016x -> %016x prefix %016x/%d",
 			e.At, e.Hops, e.Action, e.Node, e.Dest, e.PreKey, e.PreLen)
 	case TraceAnswer:

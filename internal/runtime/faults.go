@@ -1,0 +1,72 @@
+package runtime
+
+import "time"
+
+// FaultPolicy is the runtime-agnostic fault description: one value
+// drives fault injection on both runtimes. The protocol-level faults
+// (Drop, Duplicate, Jitter/Spike, Partitions) are injected by the
+// overlay — chord.FaultPlanFromPolicy translates them into a
+// chord.FaultPlan whose decisions draw from the driving runtime's
+// seeded random source, so they behave identically over the simulated
+// and the live transport (and byte-identically to no plan at all when
+// every field is zero). The transport-level faults (FrameDrop,
+// KillConn) have no simulated analogue — they model failures below
+// the protocol — and are consumed by the live transport's inbox path.
+type FaultPolicy struct {
+	// Drop is the per-message loss probability (every message kind).
+	Drop float64
+	// Duplicate is the probability that a query or acknowledgement
+	// message is delivered twice (the kinds whose receive paths are
+	// idempotent by protocol design). The second copy arrives after
+	// twice the first copy's delay, like a spurious retransmission.
+	Duplicate float64
+	// Jitter adds a uniform random extra delay in [0, Jitter) per
+	// message; SpikeProb/SpikeDelay add rare large delays.
+	Jitter     time.Duration
+	SpikeProb  float64
+	SpikeDelay time.Duration
+	// Partitions are timed windows during which messages crossing a
+	// host-group boundary are all lost.
+	Partitions []PartitionWindow
+	// FrameDrop is the live transport's probability of discarding a
+	// received payload frame after it crossed the connection (an inbox
+	// failure the sender cannot observe).
+	FrameDrop float64
+	// KillConn is the live transport's probability, per received
+	// frame, of killing and re-establishing the receiving node's
+	// connection — every message in flight on it is lost.
+	KillConn float64
+	// Seed seeds the live transport's fault source (frame drops and
+	// connection kills happen on reader goroutines, outside the
+	// protocol's single-threaded random source).
+	Seed int64
+}
+
+// PartitionWindow separates a host group from the rest of the network
+// during [From, To) — once, or repeating with period Every.
+type PartitionWindow struct {
+	Hosts    []int
+	From, To time.Duration
+	// Every, when positive, repeats the window: it is active whenever
+	// (now-From) mod Every falls inside the window's length. Zero
+	// means a single window.
+	Every time.Duration
+}
+
+// Active reports whether the window is partitioning at time now.
+func (w PartitionWindow) Active(now time.Duration) bool {
+	if now < w.From {
+		return false
+	}
+	if w.Every > 0 {
+		return (now-w.From)%w.Every < w.To-w.From
+	}
+	return now < w.To
+}
+
+// Zero reports whether the policy injects nothing at all.
+func (p *FaultPolicy) Zero() bool {
+	return p == nil || (p.Drop == 0 && p.Duplicate == 0 && p.Jitter == 0 &&
+		p.SpikeProb == 0 && len(p.Partitions) == 0 &&
+		p.FrameDrop == 0 && p.KillConn == 0)
+}

@@ -47,6 +47,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"landmarkdht/internal/runtime"
@@ -61,6 +62,26 @@ type Config struct {
 	// message. 0 delivers as fast as the machine allows (the useful
 	// setting for tests); 1 reproduces the latency model in real time.
 	LatencyScale float64
+	// Faults injects transport-level failures into the inbox path:
+	// FrameDrop discards received frames after they crossed the
+	// connection, KillConn tears a node's connection down (losing
+	// every frame in flight on it) and re-establishes it. The policy's
+	// protocol-level faults (drop, duplicate, delay, partition) are
+	// NOT applied here — the overlay injects those identically on both
+	// runtimes via chord.FaultPlanFromPolicy. Frame decisions draw
+	// from per-reader sources seeded by Faults.Seed, never from the
+	// executor's protocol source.
+	Faults *runtime.FaultPolicy
+}
+
+// FaultStats counts the transport-level faults a live runtime
+// injected.
+type FaultStats struct {
+	// FramesDropped is the number of received frames discarded by the
+	// inbox fault hook.
+	FramesDropped int64
+	// ConnsKilled is the number of connection kill/re-establish cycles.
+	ConnsKilled int64
 }
 
 // task is one unit of protocol work for the executor. Exactly one of
@@ -72,11 +93,13 @@ type task struct {
 }
 
 // envelope is a sent message waiting for its frame to arrive at the
-// destination's reader.
+// destination's reader. to identifies the destination so a connection
+// kill can sweep the envelopes lost with it.
 type envelope struct {
 	deliver func(any)
 	arg     any
 	delay   time.Duration
+	to      uint64
 }
 
 // endpoint is one registered node's connection pair: the executor
@@ -100,10 +123,16 @@ type Runtime struct {
 
 	epMu sync.Mutex
 	eps  map[uint64]*endpoint
+	// epsClosed marks the endpoint table as torn down (Close ran); a
+	// racing KillConnection must not re-open connections past it.
+	epsClosed bool
 
 	pendMu  sync.Mutex
 	pending map[uint64]envelope
 	nextMsg uint64
+
+	framesDropped atomic.Int64
+	connsKilled   atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -239,7 +268,7 @@ func (r *Runtime) Register(node uint64) {
 	r.eps[node] = &endpoint{w: wr, r: rd}
 	r.epMu.Unlock()
 	r.wg.Add(1)
-	go r.readLoop(rd)
+	go r.readLoop(node, rd)
 }
 
 // Unregister closes the node's connections; its reader goroutine exits.
@@ -280,7 +309,7 @@ func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver f
 	r.pendMu.Lock()
 	r.nextMsg++
 	id := r.nextMsg
-	r.pending[id] = envelope{deliver: deliver, arg: arg, delay: d}
+	r.pending[id] = envelope{deliver: deliver, arg: arg, delay: d, to: to}
 	r.pendMu.Unlock()
 	frame := make([]byte, frameHeader+len(payload))
 	binary.BigEndian.PutUint64(frame[:8], id)
@@ -301,9 +330,17 @@ func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver f
 
 // readLoop is one node's inbox: it consumes frames off the connection
 // and posts the matching delivery callbacks until the connection
-// closes.
-func (r *Runtime) readLoop(conn net.Conn) {
+// closes. When a fault policy configures transport-level faults, the
+// loop draws from its own seeded source (per reader, so decisions stay
+// off the executor's protocol source) and may discard a consumed frame
+// or kill its own connection.
+func (r *Runtime) readLoop(node uint64, conn net.Conn) {
 	defer r.wg.Done()
+	pol := r.cfg.Faults
+	var frng *rand.Rand
+	if pol != nil && (pol.FrameDrop > 0 || pol.KillConn > 0) {
+		frng = rand.New(rand.NewSource(pol.Seed ^ int64(node)))
+	}
 	var hdr [frameHeader]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -318,14 +355,69 @@ func (r *Runtime) readLoop(conn net.Conn) {
 				return
 			}
 		}
+		if frng != nil && pol.FrameDrop > 0 && frng.Float64() < pol.FrameDrop {
+			// Inbox failure: the frame crossed the connection but is
+			// discarded before delivery. The sender learns nothing; the
+			// overlay's retransmission timeout surfaces the loss.
+			r.pendMu.Lock()
+			delete(r.pending, id)
+			r.pendMu.Unlock()
+			r.framesDropped.Add(1)
+			continue
+		}
 		r.pendMu.Lock()
 		env, ok := r.pending[id]
 		delete(r.pending, id)
 		r.pendMu.Unlock()
-		if !ok {
-			continue
+		if ok {
+			r.after(env.delay, task{argFn: env.deliver, arg: env.arg})
 		}
-		r.after(env.delay, task{argFn: env.deliver, arg: env.arg})
+		if frng != nil && pol.KillConn > 0 && frng.Float64() < pol.KillConn {
+			// Kill this node's own connection: everything still in
+			// flight on it is lost, then a fresh pair (and a fresh
+			// reader) takes over. This loop exits.
+			r.KillConnection(node)
+			return
+		}
+	}
+}
+
+// KillConnection tears down one node's connection pair and
+// re-establishes it: every frame still in flight on the old pair is
+// lost (their pending deliveries are swept, so the overlay sees them
+// as timeouts), writers blocked on the old pair are released with an
+// error, and a fresh reader goroutine serves the new pair. It is safe
+// to call from any goroutine; after Close it is a no-op.
+func (r *Runtime) KillConnection(node uint64) {
+	r.epMu.Lock()
+	ep, ok := r.eps[node]
+	if !ok || r.epsClosed {
+		r.epMu.Unlock()
+		return
+	}
+	rd, wr := net.Pipe()
+	r.eps[node] = &endpoint{w: wr, r: rd}
+	r.epMu.Unlock()
+	ep.w.Close()
+	ep.r.Close()
+	r.pendMu.Lock()
+	for id, env := range r.pending { //lint:allow maporder deletion set is order-independent
+		if env.to == node {
+			delete(r.pending, id)
+		}
+	}
+	r.pendMu.Unlock()
+	r.connsKilled.Add(1)
+	r.wg.Add(1)
+	go r.readLoop(node, rd)
+}
+
+// FaultStats returns the transport-level fault counters. Safe to call
+// from any goroutine.
+func (r *Runtime) FaultStats() FaultStats {
+	return FaultStats{
+		FramesDropped: r.framesDropped.Load(),
+		ConnsKilled:   r.connsKilled.Load(),
 	}
 }
 
@@ -400,6 +492,7 @@ func (r *Runtime) Close() {
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.epMu.Lock()
+	r.epsClosed = true
 	for node, ep := range r.eps { //lint:allow maporder teardown order is immaterial
 		delete(r.eps, node)
 		ep.w.Close()

@@ -8,6 +8,7 @@ import (
 	"landmarkdht/internal/chord"
 	"landmarkdht/internal/core"
 	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/runtime"
 	"landmarkdht/internal/runtime/livert"
 	"landmarkdht/internal/sim"
 )
@@ -35,10 +36,26 @@ type Options struct {
 	// Jitter adds a uniform random extra delay in [0, Jitter) to every
 	// message.
 	Jitter time.Duration
+	// Faults is the full runtime-agnostic fault policy: message loss,
+	// duplication, latency faults and timed partitions inject at the
+	// overlay (identically on both runtimes); frame drops and
+	// connection kills inject at the live transport. When set it
+	// supersedes LossRate/Jitter (which remain as shorthands for
+	// loss-and-jitter-only policies).
+	Faults *FaultOptions
 	// Retry configures reliable subquery/result delivery (ack, timeout,
 	// bounded retransmission with successor failover). The zero value
 	// keeps the paper's fire-and-forget behavior.
 	Retry RetryConfig
+	// Deadline, when positive, bounds every query's total time: on
+	// expiry the query finishes immediately with whatever results have
+	// arrived, marked incomplete (see SearchStats.Complete).
+	Deadline time.Duration
+	// Hedge configures subquery hedging: a subquery still unanswered
+	// Hedge.Delay after shipping is re-sent to the owner's successor
+	// replica. Requires Index.Replicate to be useful — without a
+	// replica the hedge re-probes the same owner. See core.HedgeConfig.
+	Hedge HedgeConfig
 	// Live runs the platform over the live concurrent runtime instead of
 	// the discrete-event simulator: node inboxes are real goroutines and
 	// connections, retry timers are real timers, and searches may be
@@ -52,6 +69,15 @@ type Options struct {
 
 // RetryConfig re-exports the reliable-delivery knobs.
 type RetryConfig = core.RetryConfig
+
+// HedgeConfig re-exports the subquery-hedging knobs.
+type HedgeConfig = core.HedgeConfig
+
+// FaultOptions re-exports the runtime-agnostic fault policy.
+type FaultOptions = runtime.FaultPolicy
+
+// PartitionSpec re-exports the timed partition window.
+type PartitionSpec = runtime.PartitionWindow
 
 func (o *Options) fillDefaults() {
 	if o.Nodes <= 0 {
@@ -83,6 +109,7 @@ type Platform struct {
 	sys  *core.System
 	rng  *rand.Rand
 	opts Options
+	plan *chord.FaultPlan // overlay fault plan (nil when no faults)
 }
 
 // New builds a stabilized overlay of opts.Nodes nodes.
@@ -98,13 +125,19 @@ func New(opts Options) (*Platform, error) {
 	cfg.Chord.NumSuccessors = opts.Successors
 	cfg.Chord.PNS = !opts.DisablePNS
 	cfg.EncodeWire = opts.WireCodec
-	if opts.LossRate > 0 || opts.Jitter > 0 {
+	if opts.Faults != nil && !opts.Faults.Zero() {
+		cfg.Chord.Faults = chord.FaultPlanFromPolicy(opts.Faults)
+	} else if opts.LossRate > 0 || opts.Jitter > 0 {
 		cfg.Chord.Faults = chord.NewFaultPlan().DropAll(opts.LossRate).Jitter(opts.Jitter)
 	}
 	cfg.Retry = opts.Retry
-	p := &Platform{opts: opts}
+	cfg.Deadline = opts.Deadline
+	cfg.Hedge = opts.Hedge
+	p := &Platform{opts: opts, plan: cfg.Chord.Faults}
 	if opts.Live {
-		p.live = livert.New(livert.Config{Seed: opts.Seed, LatencyScale: opts.LiveLatencyScale})
+		p.live = livert.New(livert.Config{
+			Seed: opts.Seed, LatencyScale: opts.LiveLatencyScale, Faults: opts.Faults,
+		})
 		p.sys = core.NewSystemRuntime(p.live, p.live, model, cfg)
 	} else {
 		p.eng = sim.NewEngine(opts.Seed)
@@ -230,16 +263,40 @@ func (p *Platform) Crash(n int) int {
 	return crashed
 }
 
+// Join adds n new nodes to the running overlay (churn injection, the
+// counterpart of Crash): each newcomer joins with a random identifier,
+// routing tables around it are refreshed, and replicated indexes are
+// repaired so it takes over the primary/replica copies for its arc. It
+// returns how many nodes actually joined.
+func (p *Platform) Join(n int) int {
+	joined := 0
+	p.protocol(func() error {
+		for i := 0; i < n; i++ {
+			id := chord.ID(p.rng.Uint64())
+			if _, err := p.sys.JoinNode(id, p.rng.Intn(p.opts.Nodes)); err != nil {
+				continue
+			}
+			joined++
+		}
+		return nil
+	})
+	return joined
+}
+
 // ReliabilityStats summarizes the fault-injection and reliable-delivery
 // counters accumulated since the platform started.
 type ReliabilityStats struct {
 	// Dropped counts subqueries or results lost for good (fire-and-
-	// forget losses, exhausted retries).
+	// forget losses, exhausted retries, deadline expiries).
 	Dropped int
 	// RetriesIssued counts retransmissions sent by the reliability
 	// layer; Recovered counts deliveries that succeeded on one.
 	RetriesIssued int
 	Recovered     int
+	// Hedges counts hedged subqueries: still-unanswered subqueries
+	// re-sent to the owner's successor replica after Options.Hedge's
+	// delay.
+	Hedges int
 }
 
 // Reliability returns the platform's loss/retry counters.
@@ -250,10 +307,42 @@ func (p *Platform) Reliability() ReliabilityStats {
 			Dropped:       p.sys.DroppedSubqueries,
 			RetriesIssued: p.sys.RetriesIssued,
 			Recovered:     p.sys.RecoveredSubqueries,
+			Hedges:        p.sys.HedgesIssued,
 		}
 		return nil
 	})
 	return rs
+}
+
+// FaultStats counts the faults the platform injected, at both layers.
+type FaultStats struct {
+	// MessagesDropped / MessagesDuplicated count overlay-level injected
+	// losses (including partition casualties) and duplications.
+	MessagesDropped    int64
+	MessagesDuplicated int64
+	// FramesDropped / ConnsKilled count live-transport faults (always
+	// zero on a simulated platform, which has no transport below the
+	// overlay).
+	FramesDropped int64
+	ConnsKilled   int64
+}
+
+// Faults returns the cumulative injected-fault counters.
+func (p *Platform) Faults() FaultStats {
+	var fs FaultStats
+	p.protocol(func() error {
+		if p.plan != nil {
+			fs.MessagesDropped = p.plan.TotalDropped()
+			fs.MessagesDuplicated = p.plan.Duplicated
+		}
+		return nil
+	})
+	if p.live != nil {
+		ls := p.live.FaultStats()
+		fs.FramesDropped = ls.FramesDropped
+		fs.ConnsKilled = ls.ConnsKilled
+	}
+	return fs
 }
 
 // Traffic summarizes overlay traffic since the platform started.
