@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race live-race chaos vet lint bench bench-json experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race live-race chaos node-smoke vet lint bench bench-json experiments experiments-paper examples clean
 
 all: build vet lint test
 
@@ -51,6 +51,15 @@ live-race:
 # flagged.
 chaos:
 	$(GO) run -race ./cmd/lmchaos
+
+# The multi-process deployment smoke: build cmd/lmnode, boot a 4-process
+# ring over localhost TCP, run brute-force-verified queries through the
+# TCP client protocol while members are SIGKILLed and restarted, and
+# require every member to serve complete exact answers again afterwards.
+# The -race build extends to the child lmnode processes.
+node-smoke:
+	$(GO) test -race -count=1 -run TestTwoProcessSmoke ./cmd/lmnode
+	$(GO) run -race ./cmd/lmchaos -procs 4 -objects 1024 -dim 4 -queries 120 -clients 6 -churn 3
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...

@@ -18,6 +18,11 @@
 //
 //	go run -race ./cmd/lmchaos
 //	go run -race ./cmd/lmchaos -nodes 48 -queries 400 -drop 0.1
+//
+// With -procs N the soak instead runs over N real lmnode OS processes
+// linked by TCP, with SIGKILL-and-restart churn (see procs.go):
+//
+//	go run -race ./cmd/lmchaos -procs 8 -objects 1024 -dim 4
 package main
 
 import (
@@ -50,8 +55,21 @@ func realMain() int {
 		dup      = flag.Float64("dup", 0.02, "query/ack duplication probability")
 		frame    = flag.Float64("framedrop", 0.02, "live-transport frame drop probability")
 		killconn = flag.Float64("killconn", 0.002, "per-frame connection kill probability")
+		procs    = flag.Int("procs", 0, "run the soak over this many real lmnode OS processes instead (SIGKILL churn; see procs.go)")
 	)
 	flag.Parse()
+
+	if *procs > 0 {
+		return realProcs(procOpts{
+			n:       *procs,
+			seed:    *seed,
+			queries: *queries,
+			clients: *clients,
+			churn:   *churn,
+			objects: *objects,
+			dim:     *dim,
+		})
+	}
 
 	p, err := lm.New(lm.Options{
 		Nodes:     *nodes,

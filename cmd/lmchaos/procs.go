@@ -1,0 +1,466 @@
+package main
+
+// The -procs mode: the chaos soak over real OS processes. Instead of
+// one live in-process overlay, it builds cmd/lmnode, boots a ring of N
+// processes linked over localhost TCP, and drives brute-force-verified
+// range queries through the TCP client protocol while a churn loop
+// SIGKILLs ring members mid-soak and restarts them on the same
+// address. The contract is the same as the in-process soak — Complete
+// results must match a brute-force scan exactly, incomplete ones must
+// be honest subsets — plus recovery: after churn ends, every member
+// must again serve Complete ∧ exact answers. The injected fault here
+// is process death itself; frame-drop/conn-kill knobs apply to the
+// in-process soak (the library path is shared, see runtime.LinkFaults).
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"landmarkdht/internal/runtime/netrt"
+)
+
+// procOpts carries the flag subset the multi-process soak uses.
+type procOpts struct {
+	n       int
+	seed    int64
+	queries int
+	clients int
+	churn   int
+	objects int
+	dim     int
+}
+
+// ringProc is one lmnode OS process pinned to a ring slot. The slot's
+// address never changes: a restarted process resumes the same ring
+// identity.
+type ringProc struct {
+	cmd *exec.Cmd
+}
+
+// procRing owns the process table. The churn loop replaces entries
+// while query workers read addresses, hence the lock.
+type procRing struct {
+	bin  string
+	args []string // corpus args shared by every member
+
+	mu    sync.Mutex
+	procs []*ringProc
+}
+
+func realProcs(o procOpts) int {
+	tmp, err := os.MkdirTemp("", "lmchaos-procs-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmchaos: %v\n", err)
+		return 2
+	}
+	defer os.RemoveAll(tmp)
+
+	ring := &procRing{
+		bin: filepath.Join(tmp, "lmnode"),
+		args: []string{
+			"-seed", strconv.FormatInt(o.seed, 10),
+			"-metric", "euclid",
+			"-objects", strconv.Itoa(o.objects),
+			"-dim", strconv.Itoa(o.dim),
+		},
+		procs: make([]*ringProc, o.n),
+	}
+	defer ring.killAll()
+
+	buildArgs := []string{"build"}
+	if raceBuild {
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, "-o", ring.bin, "landmarkdht/cmd/lmnode")
+	build := exec.Command("go", buildArgs...)
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "lmchaos: build lmnode: %v\n%s", err, out)
+		return 2
+	}
+
+	// Reserve one localhost port per slot so every member has a stable
+	// address before any process starts: restarts reuse the slot's
+	// address, which is the node's ring identity.
+	addrs := make([]string, o.n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmchaos: reserve port: %v\n", err)
+			return 2
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	for i, addr := range addrs {
+		join := ""
+		if i > 0 {
+			join = addrs[0]
+		}
+		p, err := ring.spawn(addr, join)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmchaos: start member %d: %v\n", i, err)
+			return 2
+		}
+		ring.set(i, p)
+	}
+	fmt.Printf("lmchaos: %d lmnode processes up (race build: %v), %d objects (dim %d)\n",
+		o.n, raceBuild, o.objects, o.dim)
+
+	data := netrt.DataConfig{Metric: "euclid", Seed: o.seed, Objects: o.objects, Dim: o.dim}
+	ds, err := netrt.BuildDataset(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmchaos: %v\n", err)
+		return 2
+	}
+
+	// Converge: every member must see the full ring before the soak.
+	for i := 0; i < o.n; i++ {
+		if err := waitMembers(addrs[i], o.n, 30*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "lmchaos: member %d: %v\n", i, err)
+			return 2
+		}
+	}
+	fmt.Printf("lmchaos: ring converged: all %d members see %d members\n", o.n, o.n)
+
+	// Churn loop: SIGKILL a random member, leave it dead for a window,
+	// restart it on the same address joined to a survivor. Query
+	// workers run until the cycles are done, so every kill lands in
+	// the middle of live query traffic.
+	churnOver := make(chan struct{})
+	churnErr := make(chan error, 1)
+	kills := 0
+	go func() {
+		defer close(churnOver)
+		crng := rand.New(rand.NewSource(o.seed + 41))
+		for i := 0; i < o.churn; i++ {
+			time.Sleep(500 * time.Millisecond)
+			victim := crng.Intn(o.n)
+			ring.kill(victim)
+			kills++
+			fmt.Printf("lmchaos: SIGKILLed member %d (%s)\n", victim, addrs[victim])
+			time.Sleep(500 * time.Millisecond)
+			join := addrs[(victim+1)%o.n]
+			p, err := ring.spawn(addrs[victim], join)
+			if err != nil {
+				churnErr <- fmt.Errorf("restart member %d: %w", victim, err)
+				return
+			}
+			ring.set(victim, p)
+			fmt.Printf("lmchaos: restarted member %d on %s\n", victim, addrs[victim])
+		}
+	}()
+
+	// Query workers: each keeps a client to one slot, redialing when a
+	// kill takes its connection down, and verifies every answer. A
+	// worker runs at least its share of -queries and keeps going until
+	// churn has finished, so the soak always overlaps the kills.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		nDone    int
+		complete int
+		failures int
+	)
+	perClient := o.queries / o.clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(o.seed + 2000 + int64(c)))
+			addr := addrs[c%o.n]
+			var cl *netrt.Client
+			defer func() {
+				if cl != nil {
+					cl.Close()
+				}
+			}()
+			var local struct{ n, complete, failures int }
+		soak:
+			for i := 0; ; i++ {
+				if i >= perClient {
+					select {
+					case <-churnOver:
+						break soak
+					default:
+					}
+				}
+				if cl == nil {
+					var derr error
+					cl, derr = dialRetry(addr, 15*time.Second)
+					if derr != nil {
+						// The slot stayed dead past churn: a soak
+						// failure, not an honest fault.
+						local.failures++
+						break soak
+					}
+				}
+				qobj := ds.RandomQuery(crng)
+				r := 0.6 + 0.5*crng.Float64()
+				out, err := cl.Query(qobj, r, 15*time.Second)
+				if err != nil {
+					// The member died mid-query (churn). Drop the
+					// connection and redial: process death is the
+					// injected fault, not a contract violation.
+					cl.Close()
+					cl = nil
+					continue
+				}
+				local.n++
+				want, err := ds.BruteForce(qobj, r)
+				if err != nil {
+					local.failures++
+					continue
+				}
+				if out.Complete {
+					local.complete++
+					if !sameEntries(out.Entries, want) {
+						fmt.Fprintf(os.Stderr,
+							"lmchaos: FAIL: complete result disagrees with brute force (%d got, %d want)\n",
+							len(out.Entries), len(want))
+						local.failures++
+					}
+				} else if !subsetEntries(out.Entries, want) {
+					fmt.Fprintln(os.Stderr,
+						"lmchaos: FAIL: incomplete result is not a subset of the exact answer")
+					local.failures++
+				}
+			}
+			mu.Lock()
+			nDone += local.n
+			complete += local.complete
+			failures += local.failures
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	<-churnOver
+	select {
+	case err := <-churnErr:
+		fmt.Fprintf(os.Stderr, "lmchaos: FAIL: %v\n", err)
+		return 1
+	default:
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("lmchaos: %d verified queries in %v (%d complete-and-exact, %d honest-incomplete, %d SIGKILLs)\n",
+		nDone, elapsed.Round(time.Millisecond), complete, nDone-complete, kills)
+	if o.churn > 0 && kills == 0 {
+		fmt.Fprintln(os.Stderr, "lmchaos: FAIL: churn requested but no member was killed")
+		return 1
+	}
+
+	// Recovery: with churn over, every member must serve Complete ∧
+	// exact again — the ring healed, links redialed, views regossiped.
+	rng := rand.New(rand.NewSource(o.seed + 77))
+	for i := 0; i < o.n; i++ {
+		if err := waitRecovered(addrs[i], ds, rng, 60*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "lmchaos: FAIL: member %d never recovered: %v\n", i, err)
+			return 1
+		}
+	}
+	fmt.Printf("lmchaos: recovery verified: all %d members serve complete exact answers\n", o.n)
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "lmchaos: FAIL: %d completeness violations\n", failures)
+		return 1
+	}
+	if complete == 0 {
+		fmt.Fprintln(os.Stderr, "lmchaos: FAIL: no query completed during the soak")
+		return 1
+	}
+	fmt.Println("lmchaos: PASS: multi-process completeness contract held under SIGKILL churn")
+	return 0
+}
+
+// spawn launches one lmnode on addr and waits for its ready line.
+func (r *procRing) spawn(addr, join string) (*ringProc, error) {
+	args := append([]string{"-listen", addr}, r.args...)
+	if join != "" {
+		args = append(args, "-join", join)
+	}
+	cmd := exec.Command(r.bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "ready addr=") {
+				ready <- nil
+				break
+			}
+		}
+		select {
+		case ready <- fmt.Errorf("lmnode exited before its ready line"):
+		default:
+		}
+		for sc.Scan() { // keep draining so the child never blocks
+		}
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, err
+		}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("lmnode on %s never became ready", addr)
+	}
+	return &ringProc{cmd: cmd}, nil
+}
+
+func (r *procRing) set(i int, p *ringProc) {
+	r.mu.Lock()
+	r.procs[i] = p
+	r.mu.Unlock()
+}
+
+// kill SIGKILLs slot i's process and reaps it.
+func (r *procRing) kill(i int) {
+	r.mu.Lock()
+	p := r.procs[i]
+	r.procs[i] = nil
+	r.mu.Unlock()
+	if p != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+func (r *procRing) killAll() {
+	r.mu.Lock()
+	procs := append([]*ringProc(nil), r.procs...)
+	for i := range r.procs {
+		r.procs[i] = nil
+	}
+	r.mu.Unlock()
+	for _, p := range procs {
+		if p != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	}
+}
+
+// dialRetry dials a node's client port until it answers or the window
+// closes (the member may be mid-restart).
+func dialRetry(addr string, window time.Duration) (*netrt.Client, error) {
+	deadline := time.Now().Add(window)
+	for {
+		cl, err := netrt.Dial(addr, 2*time.Second)
+		if err == nil {
+			return cl, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitMembers blocks until the node at addr sees want ring members.
+func waitMembers(addr string, want int, window time.Duration) error {
+	cl, err := dialRetry(addr, window)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(window)
+	for {
+		info, err := cl.Info(2 * time.Second)
+		if err != nil {
+			return err
+		}
+		if len(info.Members) >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("view stuck at %d of %d members", len(info.Members), want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitRecovered queries one member until an answer comes back Complete
+// and brute-force exact.
+func waitRecovered(addr string, ds *netrt.Dataset, rng *rand.Rand, window time.Duration) error {
+	cl, err := dialRetry(addr, window)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(window)
+	for {
+		qobj := ds.RandomQuery(rng)
+		r := 0.6 + 0.5*rng.Float64()
+		out, qerr := cl.Query(qobj, r, 10*time.Second)
+		if qerr == nil && out.Complete {
+			want, err := ds.BruteForce(qobj, r)
+			if err != nil {
+				return err
+			}
+			if !sameEntries(out.Entries, want) {
+				return fmt.Errorf("complete result disagrees with brute force (%d got, %d want)",
+					len(out.Entries), len(want))
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if qerr != nil {
+				return qerr
+			}
+			return fmt.Errorf("answers still incomplete")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// sameEntries reports whether got covers exactly the brute-force
+// answer (both sorted by object id).
+func sameEntries(got, want []netrt.ResultEntry) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Obj != want[i].Obj {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetEntries reports whether every got entry is in the brute-force
+// answer.
+func subsetEntries(got, want []netrt.ResultEntry) bool {
+	have := make(map[int32]bool, len(want))
+	for _, e := range want {
+		have[e.Obj] = true
+	}
+	for _, e := range got {
+		if !have[e.Obj] {
+			return false
+		}
+	}
+	return true
+}

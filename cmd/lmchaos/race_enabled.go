@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceBuild mirrors whether this lmchaos binary was built with the
+// race detector; -procs mode builds its child lmnode binary the same
+// way so the whole process tree is race-checked together.
+const raceBuild = true

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/runtime/netrt"
+)
+
+// TestTwoProcessSmoke boots a 2-process ring from the built lmnode
+// binary and runs brute-force-verified queries through the TCP client
+// protocol. Gated on the race detector: this is the concurrency smoke
+// test for the real-process deployment.
+func TestTwoProcessSmoke(t *testing.T) {
+	if !raceDetectorEnabled {
+		t.Skip("two-process smoke test runs under -race (go test -race ./cmd/lmnode)")
+	}
+	bin := filepath.Join(t.TempDir(), "lmnode")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	data := netrt.DataConfig{Metric: "euclid", Seed: 11, Objects: 256, Dim: 3, Landmarks: 4}
+	common := []string{
+		"-seed", "11", "-metric", "euclid",
+		"-objects", "256", "-dim", "3", "-landmarks", "4",
+	}
+	addr1 := startNode(t, bin, append([]string{"-listen", "127.0.0.1:0"}, common...)...)
+	startNode(t, bin, append([]string{"-listen", "127.0.0.1:0", "-join", addr1}, common...)...)
+
+	c, err := netrt.Dial(addr1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr1, err)
+	}
+	defer c.Close()
+
+	// Wait for the two processes to see each other.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		info, err := c.Info(2 * time.Second)
+		if err != nil {
+			t.Fatalf("info: %v", err)
+		}
+		if len(info.Members) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never converged: %d members", len(info.Members))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	ds, err := netrt.BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	exact := 0
+	for i := 0; i < 8; i++ {
+		qobj := ds.RandomQuery(rng)
+		r := 0.2 + 0.3*rng.Float64()
+		out, err := c.Query(qobj, r, 10*time.Second)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Complete {
+			continue // honest incompleteness is allowed; exactness is not optional below
+		}
+		if len(out.Entries) != len(want) {
+			t.Fatalf("query %d: complete but %d entries, brute force %d", i, len(out.Entries), len(want))
+		}
+		for j := range want {
+			if out.Entries[j].Obj != want[j].Obj {
+				t.Fatalf("query %d: entry %d is object %d, brute force %d", i, j, out.Entries[j].Obj, want[j].Obj)
+			}
+		}
+		exact++
+	}
+	if exact == 0 {
+		t.Fatal("no query completed on a healthy 2-process ring")
+	}
+}
+
+// startNode launches one lmnode process, scrapes its ready line for
+// the bound address, and registers cleanup that SIGTERMs it.
+func startNode(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = nil
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	})
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "addr="); i >= 0 {
+				f := strings.Fields(line[i+len("addr="):])
+				if len(f) > 0 {
+					ready <- f[0]
+					break
+				}
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case addr := <-ready:
+		return addr
+	case <-time.After(15 * time.Second):
+		t.Fatal(fmt.Errorf("lmnode never printed its ready line"))
+		return ""
+	}
+}

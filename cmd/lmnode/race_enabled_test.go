@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceDetectorEnabled gates the multi-process smoke test on the race
+// detector, mirroring the root package's crossruntime gate.
+const raceDetectorEnabled = true

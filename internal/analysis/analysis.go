@@ -152,8 +152,10 @@ func parseAllow(text string) (analyzer string, fileWide bool, ok bool) {
 // skip them by design rather than through //lint:allow annotations.
 var liveCapable = []string{
 	"landmarkdht/internal/runtime/livert",
+	"landmarkdht/internal/runtime/netrt",
 	"landmarkdht/cmd/lmlive",
 	"landmarkdht/cmd/lmchaos",
+	"landmarkdht/cmd/lmnode",
 }
 
 // LiveCapable reports whether the package with the given import path is

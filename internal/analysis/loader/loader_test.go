@@ -1,0 +1,68 @@
+package loader
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseDirSkipsUnsatisfiedBuildTags pins the tag-paired-file case:
+// a package with race_enabled.go (//go:build race) and
+// race_disabled.go (//go:build !race) must type-check as ONE variant —
+// the default-tag one — not both (a redeclaration error).
+func TestParseDirSkipsUnsatisfiedBuildTags(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("on.go", "//go:build race\n\npackage p\n\nconst flag = true\n")
+	write("off.go", "//go:build !race\n\npackage p\n\nconst flag = false\n")
+	write("plain.go", "package p\n\nvar _ = flag\n")
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range files {
+		names = append(names, filepath.Base(fset.Position(f.Package).Filename))
+	}
+	if len(names) != 2 {
+		t.Fatalf("parsed %v, want the !race variant plus the plain file", names)
+	}
+	for _, n := range names {
+		if n == "on.go" {
+			t.Fatalf("race-tagged file parsed under default tags: %v", names)
+		}
+	}
+}
+
+// TestSatisfiesBuildHostTags: GOOS/GOARCH constraints evaluate against
+// the host, and files with no constraint always load.
+func TestSatisfiesBuildHostTags(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n", true},
+		{"//go:build linux || darwin || windows\n\npackage p\n", true},
+		{"//go:build plan9 && race\n\npackage p\n", false},
+		{"//go:build !race\n\npackage p\n", true},
+	}
+	for i, c := range cases {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", c.src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := satisfiesBuild(fset, f); got != c.want {
+			t.Errorf("case %d: satisfiesBuild = %v, want %v", i, got, c.want)
+		}
+	}
+}

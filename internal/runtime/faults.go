@@ -1,6 +1,9 @@
 package runtime
 
-import "time"
+import (
+	"math/rand"
+	"time"
+)
 
 // FaultPolicy is the runtime-agnostic fault description: one value
 // drives fault injection on both runtimes. The protocol-level faults
@@ -62,6 +65,45 @@ func (w PartitionWindow) Active(now time.Duration) bool {
 		return (now-w.From)%w.Every < w.To-w.From
 	}
 	return now < w.To
+}
+
+// LinkFaults is the one frame-drop / connection-kill decision path
+// shared by every live transport's read loop (livert's in-process
+// inboxes and netrt's TCP links). Each reader owns one LinkFaults
+// seeded by the policy's Seed XOR the peer's identity, so decisions
+// never touch the executor's protocol random source and a given
+// (seed, peer) pair draws the same fault sequence on both runtimes.
+//
+// A nil *LinkFaults is valid and injects nothing, so read loops call
+// DropFrame/KillConn unconditionally.
+type LinkFaults struct {
+	rng  *rand.Rand
+	drop float64
+	kill float64
+}
+
+// NewLinkFaults builds the fault hook for one reader. It returns nil —
+// inject nothing — when the policy configures no transport-level
+// faults.
+func NewLinkFaults(pol *FaultPolicy, peer uint64) *LinkFaults {
+	if pol == nil || (pol.FrameDrop == 0 && pol.KillConn == 0) {
+		return nil
+	}
+	return &LinkFaults{
+		rng:  rand.New(rand.NewSource(pol.Seed ^ int64(peer))),
+		drop: pol.FrameDrop,
+		kill: pol.KillConn,
+	}
+}
+
+// DropFrame draws the per-frame discard decision. Nil-safe.
+func (f *LinkFaults) DropFrame() bool {
+	return f != nil && f.drop > 0 && f.rng.Float64() < f.drop
+}
+
+// KillConn draws the per-frame connection-kill decision. Nil-safe.
+func (f *LinkFaults) KillConn() bool {
+	return f != nil && f.kill > 0 && f.rng.Float64() < f.kill
 }
 
 // Zero reports whether the policy injects nothing at all.

@@ -40,10 +40,8 @@
 package livert
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -51,6 +49,7 @@ import (
 	"time"
 
 	"landmarkdht/internal/runtime"
+	"landmarkdht/internal/wire"
 )
 
 // Config parameterizes a live runtime.
@@ -283,9 +282,6 @@ func (r *Runtime) Unregister(node uint64) {
 	}
 }
 
-// frameHeader is [8-byte message id | 4-byte payload length].
-const frameHeader = 12
-
 // Send implements runtime.Transport. With a payload, the bytes travel
 // as a frame over the destination node's connection and the delivery
 // callback runs once the node's reader has consumed them (plus the
@@ -311,10 +307,16 @@ func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver f
 	id := r.nextMsg
 	r.pending[id] = envelope{deliver: deliver, arg: arg, delay: d, to: to}
 	r.pendMu.Unlock()
-	frame := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint64(frame[:8], id)
-	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
-	copy(frame[frameHeader:], payload)
+	frame, ferr := wire.AppendFrame(make([]byte, 0, wire.FrameHeader+len(payload)), id, payload)
+	if ferr != nil {
+		// Oversized payload: impossible for protocol-produced messages,
+		// but degrade to the timer path rather than corrupt the stream.
+		r.pendMu.Lock()
+		delete(r.pending, id)
+		r.pendMu.Unlock()
+		r.after(d, task{argFn: deliver, arg: arg})
+		return
+	}
 	if _, err := ep.w.Write(frame); err != nil {
 		// Connection torn down between the lookup and the write: fall
 		// back to the timer path (same as a missing endpoint).
@@ -331,31 +333,24 @@ func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver f
 // readLoop is one node's inbox: it consumes frames off the connection
 // and posts the matching delivery callbacks until the connection
 // closes. When a fault policy configures transport-level faults, the
-// loop draws from its own seeded source (per reader, so decisions stay
-// off the executor's protocol source) and may discard a consumed frame
-// or kill its own connection.
+// loop draws from the shared runtime.LinkFaults hook (per reader, so
+// decisions stay off the executor's protocol source — the same path
+// netrt's TCP links use) and may discard a consumed frame or kill its
+// own connection.
 func (r *Runtime) readLoop(node uint64, conn net.Conn) {
 	defer r.wg.Done()
-	pol := r.cfg.Faults
-	var frng *rand.Rand
-	if pol != nil && (pol.FrameDrop > 0 || pol.KillConn > 0) {
-		frng = rand.New(rand.NewSource(pol.Seed ^ int64(node)))
-	}
-	var hdr [frameHeader]byte
+	faults := runtime.NewLinkFaults(r.cfg.Faults, node)
+	var buf []byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		// The payload bytes crossed the connection; the delivery
+		// callback re-decodes them from its prebound state, so the
+		// buffer contents are discarded after the read.
+		id, _, next, err := wire.ReadFrame(conn, buf)
+		if err != nil {
 			return
 		}
-		id := binary.BigEndian.Uint64(hdr[:8])
-		n := binary.BigEndian.Uint32(hdr[8:12])
-		if n > 0 {
-			// The payload bytes crossed the connection; the delivery
-			// callback re-decodes them from its prebound state.
-			if _, err := io.CopyN(io.Discard, conn, int64(n)); err != nil {
-				return
-			}
-		}
-		if frng != nil && pol.FrameDrop > 0 && frng.Float64() < pol.FrameDrop {
+		buf = next
+		if faults.DropFrame() {
 			// Inbox failure: the frame crossed the connection but is
 			// discarded before delivery. The sender learns nothing; the
 			// overlay's retransmission timeout surfaces the loss.
@@ -372,7 +367,7 @@ func (r *Runtime) readLoop(node uint64, conn net.Conn) {
 		if ok {
 			r.after(env.delay, task{argFn: env.deliver, arg: env.arg})
 		}
-		if frng != nil && pol.KillConn > 0 && frng.Float64() < pol.KillConn {
+		if faults.KillConn() {
 			// Kill this node's own connection: everything still in
 			// flight on it is lost, then a fresh pair (and a fresh
 			// reader) takes over. This loop exits.

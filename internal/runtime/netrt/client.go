@@ -1,0 +1,197 @@
+package netrt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"landmarkdht/internal/wire"
+)
+
+// Client is a connection to one ring node's client port. Calls are
+// correlated to replies by frame id, so a client is safe for
+// concurrent use from multiple goroutines.
+type Client struct {
+	conn net.Conn
+	node uint64
+	addr string
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan []byte
+	closed  bool
+}
+
+// Info is a node's self-description.
+type Info struct {
+	ID      uint64
+	Addr    string
+	Members []Member
+	Store   int
+}
+
+// Dial connects to a node and completes the client handshake.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(conn, 1, kindClientHello, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_, payload, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	kind, body, err := splitMsg(payload)
+	if err != nil || kind != kindClientWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("netrt: unexpected client handshake reply")
+	}
+	var w clientWelcomeMsg
+	if err := decodeBody(body, &w); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{conn: conn, node: w.ID, addr: w.Addr, nextID: 1, pending: make(map[uint64]chan []byte)}
+	go c.readLoop()
+	return c, nil
+}
+
+// NodeID returns the connected node's ring identity.
+func (c *Client) NodeID() uint64 { return c.node }
+
+// readLoop routes reply frames to their waiting callers by frame id.
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		id, payload, next, err := wire.ReadFrame(c.conn, buf)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.pending { //lint:allow maporder waking waiters is order-independent
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		buf = next
+		cp := append([]byte(nil), payload...)
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- cp
+		}
+	}
+}
+
+// roundTrip sends one request and waits for its reply.
+func (c *Client) roundTrip(kind byte, msg any, timeout time.Duration) (byte, []byte, error) {
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, fmt.Errorf("netrt: client connection closed")
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+	cancel := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+	payload, err := encodeMsg(kind, msg)
+	if err != nil {
+		cancel()
+		return 0, nil, err
+	}
+	frame, err := wire.AppendFrame(nil, id, payload)
+	if err != nil {
+		cancel()
+		return 0, nil, err
+	}
+	c.wmu.Lock()
+	_, err = c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		cancel()
+		return 0, nil, err
+	}
+	select {
+	case p, ok := <-ch:
+		if !ok {
+			return 0, nil, fmt.Errorf("netrt: connection lost awaiting reply")
+		}
+		return splitReply(p)
+	case <-time.After(timeout):
+		cancel()
+		return 0, nil, fmt.Errorf("netrt: request timed out after %v", timeout)
+	}
+}
+
+func splitReply(p []byte) (byte, []byte, error) {
+	kind, body, err := splitMsg(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return kind, body, nil
+}
+
+// Query runs one range query on the connected node: qobj is the
+// metric-specific query-object encoding (EncodeVectorQuery /
+// EncodeStringQuery), r the metric radius.
+func (c *Client) Query(qobj []byte, r float64, timeout time.Duration) (QueryOutcome, error) {
+	kind, body, err := c.roundTrip(kindClientQuery, clientQueryMsg{QObj: qobj, R: r}, timeout)
+	if err != nil {
+		return QueryOutcome{}, err
+	}
+	if kind != kindClientResult {
+		return QueryOutcome{}, fmt.Errorf("netrt: unexpected reply kind %d", kind)
+	}
+	var res clientResultMsg
+	if err := decodeBody(body, &res); err != nil {
+		return QueryOutcome{}, err
+	}
+	if res.Err != "" {
+		return QueryOutcome{}, fmt.Errorf("netrt: query failed: %s", res.Err)
+	}
+	return QueryOutcome{Complete: res.Complete, Dropped: res.Dropped, Entries: res.Entries}, nil
+}
+
+// Info asks the node for its identity, membership view, and store
+// size.
+func (c *Client) Info(timeout time.Duration) (Info, error) {
+	kind, body, err := c.roundTrip(kindClientInfo, nil, timeout)
+	if err != nil {
+		return Info{}, err
+	}
+	if kind != kindClientInfoR {
+		return Info{}, fmt.Errorf("netrt: unexpected reply kind %d", kind)
+	}
+	var in infoMsg
+	if err := decodeBody(body, &in); err != nil {
+		return Info{}, err
+	}
+	return Info{ID: in.ID, Addr: in.Addr, Members: in.Members, Store: in.Store}, nil
+}
+
+// Close tears the client connection down.
+func (c *Client) Close() { c.conn.Close() }

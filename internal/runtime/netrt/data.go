@@ -1,0 +1,302 @@
+package netrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"landmarkdht/internal/indexspace"
+	"landmarkdht/internal/landmark"
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/metric"
+	"landmarkdht/internal/query"
+)
+
+// DataConfig pins the deterministic corpus every ring member rebuilds
+// at startup. All processes must agree on every field — the handshake
+// compares a signature over the derived keys and refuses to link nodes
+// whose corpora differ. (Regenerating the corpus from the seed in each
+// process stands in for durable local state, a later milestone; it is
+// what lets a SIGKILLed node restart and immediately own its share of
+// the data again.)
+type DataConfig struct {
+	// Metric selects the object space: "euclid" (Dim-dimensional
+	// vectors, uniform in [0,1]) or "edit" (short random strings under
+	// Levenshtein distance).
+	Metric string
+	// Seed drives object generation and landmark selection.
+	Seed int64
+	// Objects is the corpus size (default 2048).
+	Objects int
+	// Dim is the vector dimensionality for "euclid" (default 4).
+	Dim int
+	// Landmarks is the index-space dimensionality k (default 6).
+	Landmarks int
+}
+
+func (c *DataConfig) fillDefaults() {
+	if c.Metric == "" {
+		c.Metric = "euclid"
+	}
+	if c.Objects <= 0 {
+		c.Objects = 2048
+	}
+	if c.Dim <= 0 {
+		c.Dim = 4
+	}
+	if c.Landmarks <= 0 {
+		c.Landmarks = 6
+	}
+}
+
+// corpus is what a node needs from the dataset, independent of the
+// object type: ring placement of every entry, index-space points for
+// region scans, exact distances for refinement, and query-region
+// construction.
+type corpus interface {
+	N() int
+	// Key returns entry i's ring key (rotation applied).
+	Key(i int) lph.Key
+	// Point returns entry i's index-space point.
+	Point(i int) []float64
+	Part() *lph.Partitioner
+	Sig() uint64
+	// QueryRegion builds the eps-widened query region for an encoded
+	// query object and radius.
+	QueryRegion(qobj []byte, r float64) (query.Region, error)
+	// Evaluator decodes a query object once and returns the exact
+	// distance to entry i.
+	Evaluator(qobj []byte) (func(i int) float64, error)
+	// RandomQuery draws a random encoded query object from rng.
+	RandomQuery(rng *rand.Rand) []byte
+}
+
+// dataset is the generic corpus implementation over one metric space.
+type dataset[T any] struct {
+	objs   []T
+	space  metric.Space[T]
+	emb    *indexspace.Embedding[T]
+	part   *lph.Partitioner
+	keys   []lph.Key
+	points [][]float64
+	sig    uint64
+	dec    func([]byte) (T, error)
+	random func(rng *rand.Rand) []byte
+}
+
+func (d *dataset[T]) N() int                 { return len(d.objs) }
+func (d *dataset[T]) Key(i int) lph.Key      { return d.keys[i] }
+func (d *dataset[T]) Point(i int) []float64  { return d.points[i] }
+func (d *dataset[T]) Part() *lph.Partitioner { return d.part }
+func (d *dataset[T]) Sig() uint64            { return d.sig }
+
+// QueryRegion mirrors core.queryRegion: the cube around the mapped
+// query point is widened by a relative epsilon (the contractive-mapping
+// guarantee can be violated by one ulp in floats; exact refinement
+// removes any false positives the widening admits).
+func (d *dataset[T]) QueryRegion(qobj []byte, r float64) (query.Region, error) {
+	q, err := d.dec(qobj)
+	if err != nil {
+		return query.Region{}, err
+	}
+	center := d.emb.Map(q)
+	cube := make([]lph.Bounds, len(center))
+	for j, c := range center {
+		b := d.part.Bounds(j)
+		eps := 1e-9 * (1 + math.Abs(c) + r)
+		cube[j] = lph.Bounds{Lo: b.Clamp(c - r - eps), Hi: b.Clamp(c + r + eps)}
+	}
+	return query.New(d.part, cube)
+}
+
+func (d *dataset[T]) Evaluator(qobj []byte) (func(i int) float64, error) {
+	q, err := d.dec(qobj)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) float64 { return d.space.Dist(q, d.objs[i]) }, nil
+}
+
+func (d *dataset[T]) RandomQuery(rng *rand.Rand) []byte { return d.random(rng) }
+
+// buildCorpus derives the full corpus from the config: objects,
+// landmarks (greedy max-min over a sample), the index-space embedding
+// and partitioner, and every entry's ring key.
+func buildCorpus(cfg DataConfig) (corpus, error) {
+	cfg.fillDefaults()
+	switch cfg.Metric {
+	case "euclid":
+		return buildEuclid(cfg)
+	case "edit":
+		return buildEdit(cfg)
+	default:
+		return nil, fmt.Errorf("netrt: unknown metric %q (want euclid or edit)", cfg.Metric)
+	}
+}
+
+// finishDataset runs the metric-independent tail of corpus
+// construction: landmark selection, embedding, mapping, keys,
+// signature.
+func finishDataset[T any](cfg DataConfig, objs []T, space metric.Space[T], dec func([]byte) (T, error), random func(*rand.Rand) []byte) (*dataset[T], error) {
+	sample := objs
+	if len(sample) > 2000 {
+		sample = sample[:2000]
+	}
+	lrng := rand.New(rand.NewSource(cfg.Seed ^ 0x6c616e646d61726b)) // "landmark"
+	lms, err := landmark.Greedy(lrng, sample, cfg.Landmarks, space.Dist)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := indexspace.New(space, lms)
+	if err != nil {
+		return nil, err
+	}
+	part, err := emb.Partitioner(false)
+	if err != nil {
+		return nil, err
+	}
+	d := &dataset[T]{objs: objs, space: space, emb: emb, part: part, dec: dec, random: random}
+	d.keys = make([]lph.Key, len(objs))
+	d.points = make([][]float64, len(objs))
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d/%d/%d", cfg.Metric, cfg.Seed, cfg.Objects, cfg.Dim, cfg.Landmarks)
+	var kb [8]byte
+	for i, o := range objs {
+		p := emb.Map(o)
+		d.points[i] = p
+		d.keys[i] = part.MapPoint(p)
+		binary.BigEndian.PutUint64(kb[:], uint64(d.keys[i]))
+		h.Write(kb[:])
+	}
+	d.sig = h.Sum64()
+	return d, nil
+}
+
+func buildEuclid(cfg DataConfig) (corpus, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x636f72707573)) // "corpus"
+	objs := make([]metric.Vector, cfg.Objects)
+	for i := range objs {
+		v := make(metric.Vector, cfg.Dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		objs[i] = v
+	}
+	space := metric.EuclideanSpace("euclid", cfg.Dim, 0, 1)
+	dim := cfg.Dim
+	dec := func(b []byte) (metric.Vector, error) {
+		return DecodeVectorQuery(b, dim)
+	}
+	random := func(rng *rand.Rand) []byte {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		return EncodeVectorQuery(v)
+	}
+	return finishDataset(cfg, objs, space, dec, random)
+}
+
+// editAlphabet is small on purpose: short strings over few letters
+// produce a rich, collision-heavy edit-distance landscape.
+const editAlphabet = "abcde"
+
+func buildEdit(cfg DataConfig) (corpus, error) {
+	const maxLen = 12
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x636f72707573))
+	objs := make([]string, cfg.Objects)
+	for i := range objs {
+		n := 3 + rng.Intn(maxLen-3)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = editAlphabet[rng.Intn(len(editAlphabet))]
+		}
+		objs[i] = string(b)
+	}
+	space := metric.EditSpace("edit", maxLen)
+	dec := func(b []byte) (string, error) {
+		if len(b) > maxLen {
+			return "", fmt.Errorf("netrt: query string longer than %d", maxLen)
+		}
+		return string(b), nil
+	}
+	random := func(rng *rand.Rand) []byte {
+		n := 3 + rng.Intn(maxLen-3)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = editAlphabet[rng.Intn(len(editAlphabet))]
+		}
+		return b
+	}
+	return finishDataset(cfg, objs, space, dec, random)
+}
+
+// EncodeVectorQuery encodes a vector query object for the "euclid"
+// metric: 8 big-endian bytes per component.
+func EncodeVectorQuery(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeVectorQuery inverts EncodeVectorQuery, checking dimensionality.
+func DecodeVectorQuery(b []byte, dim int) (metric.Vector, error) {
+	if len(b) != 8*dim {
+		return nil, fmt.Errorf("netrt: query object is %d bytes, want %d (dim %d)", len(b), 8*dim, dim)
+	}
+	v := make(metric.Vector, dim)
+	for i := range v {
+		x := math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("netrt: non-finite query component %d", i)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// EncodeStringQuery encodes a string query object for the "edit"
+// metric.
+func EncodeStringQuery(s string) []byte { return []byte(s) }
+
+// Dataset is the exported view of the deterministic corpus, for
+// drivers (cmd/lmchaos, tests) that verify query answers by brute
+// force against the same data every ring member holds.
+type Dataset struct {
+	c corpus
+}
+
+// BuildDataset derives the corpus a ring built from cfg holds.
+func BuildDataset(cfg DataConfig) (*Dataset, error) {
+	c, err := buildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{c: c}, nil
+}
+
+// N returns the corpus size.
+func (d *Dataset) N() int { return d.c.N() }
+
+// RandomQuery draws a random encoded query object from rng.
+func (d *Dataset) RandomQuery(rng *rand.Rand) []byte { return d.c.RandomQuery(rng) }
+
+// BruteForce returns the exact range-query answer over the full
+// corpus, sorted by object id.
+func (d *Dataset) BruteForce(qobj []byte, r float64) ([]ResultEntry, error) {
+	eval, err := d.c.Evaluator(qobj)
+	if err != nil {
+		return nil, err
+	}
+	var out []ResultEntry
+	for i := 0; i < d.c.N(); i++ {
+		if dist := eval(i); dist <= r {
+			out = append(out, ResultEntry{Obj: int32(i), Dist: dist})
+		}
+	}
+	return out, nil
+}

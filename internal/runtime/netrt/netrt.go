@@ -1,0 +1,496 @@
+// Package netrt deploys the landmark index as real OS processes: each
+// node is a TCP listener plus a set of reconnecting peer links, and a
+// ring is N processes bootstrapping over localhost (or any network).
+//
+// # Relationship to the other runtimes
+//
+// The simulated runtime (runtime/simrt) and the live runtime
+// (runtime/livert) both execute the protocol in one address space,
+// where delivery callbacks carry prebound local state across "nodes".
+// A multi-process ring has no shared memory, so netrt speaks a fully
+// self-describing frame protocol over the existing internal/wire
+// [id|len|payload] framing: membership handshake and gossip, the
+// paper's surrogate-refinement query decomposition (Algorithm 5), and
+// credit-based completion accounting replace the in-process token
+// bookkeeping. The livert executor is reused verbatim as each node's
+// single-threaded protocol goroutine, clock, and seeded random source;
+// its net.Pipe transport machinery is simply unused.
+//
+// # Link layer
+//
+// Traffic to a peer goes through a link (see link.go): dial-on-demand,
+// a single active connection per peer pair (smaller-dialer-ID wins),
+// automatic reconnect with seeded exponential backoff + jitter, and a
+// bounded outbound queue that sheds (and counts) rather than ever
+// blocking the protocol executor. Queued frames survive reconnects and
+// are delivered at most once. Reader goroutines decode frames and post
+// them to the executor; a hostile or corrupt stream (typed
+// wire.FrameError) drops the link.
+//
+// # Data and membership
+//
+// Every process rebuilds the same deterministic corpus from the shared
+// seed (DataConfig; the handshake's corpus signature refuses to link
+// disagreeing nodes) and stores exactly the entries it owns under the
+// current membership view — the successor of each entry's ring key.
+// Membership is a full member list, learned at handshake, spread by
+// join announcements and periodic gossip; members are never evicted,
+// so a SIGKILLed process that restarts with the same address (same
+// node ID) reconnects and resumes ownership with no protocol change.
+//
+// # Queries and completeness
+//
+// A query starts with the full index-space region and a credit of
+// 2⁶². Each node forwards region shards to their owners (splitting the
+// credit so shares always sum exactly), answers its own shard from its
+// local store with exact-distance refinement, and returns credit via
+// Result frames — or Drop frames when a shard is unanswerable (TTL
+// exhausted, malformed query). The origin completes when all credit is
+// home; Complete means none of it came back as Drop and the deadline
+// did not expire, and a Complete answer is exact: under a consistent
+// view the shard decomposition covers the region exactly once, and
+// duplicate coverage under view skew is removed by merging results per
+// object. Anything less is an honest subset.
+package netrt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"landmarkdht/internal/runtime"
+	"landmarkdht/internal/runtime/livert"
+)
+
+// Config parameterizes one ring node.
+type Config struct {
+	// Listen is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// port). The node's identity is derived from the bound address, so
+	// restarting with the same explicit address resumes the same ring
+	// position.
+	Listen string
+	// Join lists peer addresses to bootstrap from (empty for the first
+	// node of a ring).
+	Join []string
+	// Data pins the deterministic corpus (must match across the ring).
+	Data DataConfig
+	// Deadline bounds a query: when it expires before all credit is
+	// home, the query finishes incomplete (default 5s).
+	Deadline time.Duration
+	// TTL bounds per-subquery forwarding under membership-view
+	// disagreement (default 48).
+	TTL int
+	// GossipPeriod is the anti-entropy interval (default 500ms).
+	GossipPeriod time.Duration
+	// Faults injects transport-level failures into peer links through
+	// the shared runtime.LinkFaults path, exactly as on livert.
+	Faults *runtime.FaultPolicy
+	// MaxQueue bounds each link's outbound queue (default 256).
+	MaxQueue int
+	// Logf, when set, receives one line per membership and link event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	c.Data.fillDefaults()
+	if c.Deadline <= 0 {
+		c.Deadline = 5 * time.Second
+	}
+	if c.TTL <= 0 {
+		c.TTL = 48
+	}
+	if c.GossipPeriod <= 0 {
+		c.GossipPeriod = 500 * time.Millisecond
+	}
+}
+
+// Node is one ring member: a listener, its peer links, the owned slice
+// of the deterministic corpus, and the origin-side state of queries it
+// is running for clients.
+type Node struct {
+	cfg   Config
+	id    uint64
+	addr  string
+	sig   uint64
+	epoch uint64 // process incarnation, stamps this node's queries
+	data  corpus
+
+	rt *livert.Runtime // protocol executor, clock, seeded rand
+	ln net.Listener
+
+	// Executor-owned state (only touched on rt's protocol goroutine).
+	members   map[uint64]string
+	ring      []uint64 // sorted member IDs
+	owned     []int    // corpus indices this node owns under members
+	queries   map[uint64]*originQuery
+	nextQID   uint64
+	gossip    *runtime.Ticker
+	announceB []byte // scratch: encoded announce payload
+
+	// memberSnap mirrors the membership for non-executor contexts
+	// (handshakes); it holds a []Member sorted by ID.
+	memberSnap atomic.Value
+
+	linkMu sync.Mutex
+	links  map[string]*link
+
+	clientMu sync.Mutex
+	clients  map[net.Conn]struct{}
+
+	frameID       atomic.Uint64
+	framesDropped atomic.Int64
+	connsKilled   atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NodeID derives a node's ring identity from its bound listen address.
+// Deterministic, so a restarted process resumes its ring position.
+func NodeID(addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// Start builds the corpus, binds the listener, joins the ring, and
+// returns the running node.
+func Start(cfg Config) (*Node, error) {
+	cfg.fillDefaults()
+	data, err := buildCorpus(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:  cfg,
+		addr: ln.Addr().String(),
+		sig:  data.Sig(),
+		// A restarted process has the same identity and restarts its
+		// qid counter, so returns are routed by (epoch, qid): frames
+		// queued for a dead incarnation cannot leak into this one.
+		epoch:   uint64(time.Now().UnixNano()),
+		data:    data,
+		ln:      ln,
+		members: make(map[uint64]string),
+		queries: make(map[uint64]*originQuery),
+		links:   make(map[string]*link),
+		clients: make(map[net.Conn]struct{}),
+	}
+	n.id = NodeID(n.addr)
+	n.rt = livert.New(livert.Config{Seed: cfg.Data.Seed ^ int64(n.id)})
+	if err := n.rt.Do(func() {
+		n.addMember(n.id, n.addr)
+		n.gossip = runtime.NewTicker(n.rt,
+			time.Duration(n.rt.Rand().Int63n(int64(cfg.GossipPeriod))),
+			cfg.GossipPeriod, n.gossipTick)
+	}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	for _, j := range cfg.Join {
+		if j != "" && j != n.addr {
+			// Queue an announce on the bootstrap link: the dial-on-
+			// demand handshake exchanges full membership both ways.
+			n.sendTo(j, kindAnnounce, announceMsg{Members: n.snapshot()})
+		}
+	}
+	return n, nil
+}
+
+// ID returns the node's ring identity.
+func (n *Node) ID() uint64 { return n.id }
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.addr }
+
+// Close shuts the node down: listener, client connections, links, and
+// the protocol executor.
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	n.ln.Close()
+	n.clientMu.Lock()
+	for c := range n.clients { //lint:allow maporder teardown order is immaterial
+		c.Close()
+	}
+	n.clients = nil
+	n.clientMu.Unlock()
+	n.linkMu.Lock()
+	links := n.links
+	n.links = map[string]*link{}
+	n.linkMu.Unlock()
+	for _, l := range links { //lint:allow maporder teardown order is immaterial
+		l.close()
+	}
+	_ = n.rt.Do(func() {
+		if n.gossip != nil {
+			n.gossip.Stop()
+		}
+		for qid, oq := range n.queries { //lint:allow maporder teardown order is immaterial
+			oq.deadline.Stop()
+			delete(n.queries, qid)
+			oq.done(QueryOutcome{}, ErrNodeClosed)
+		}
+	})
+	n.rt.Close()
+	n.wg.Wait()
+}
+
+// ErrNodeClosed reports a query cut short by node shutdown.
+var ErrNodeClosed = fmt.Errorf("netrt: node closed")
+
+// logf emits one diagnostic line when the config asks for them.
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// ---- linkHost implementation ----
+
+func (n *Node) selfID() uint64 { return n.id }
+
+func (n *Node) nextFrameID() uint64 { return n.frameID.Add(1) }
+
+func (n *Node) linkFaults(peer uint64) *runtime.LinkFaults {
+	return runtime.NewLinkFaults(n.cfg.Faults, peer)
+}
+
+func (n *Node) linkSeed(addr string) int64 {
+	return n.cfg.Data.Seed ^ int64(NodeID(addr))
+}
+
+func (n *Node) countFault(kind string) {
+	if kind == "drop" {
+		n.framesDropped.Add(1)
+	} else {
+		n.connsKilled.Add(1)
+	}
+}
+
+func (n *Node) maxQueue() int { return n.cfg.MaxQueue }
+
+// dialPeer dials a peer and completes the handshake; membership learned
+// from the Welcome merges on the executor.
+func (n *Node) dialPeer(addr string) (net.Conn, uint64, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := dialHandshake(conn, Member{ID: n.id, Addr: n.addr}, n.sig, n.snapshot())
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	members := w.Members
+	n.rt.Schedule(0, func() {
+		n.addMember(w.From, w.Addr)
+		n.mergeMembers(members)
+	})
+	n.logf("link up to %s (node %016x, dialed)", addr, w.From)
+	return conn, w.From, nil
+}
+
+// handleFrame routes one decoded peer frame onto the executor.
+func (n *Node) handleFrame(peer uint64, kind byte, body []byte) {
+	n.rt.Schedule(0, func() {
+		switch kind {
+		case kindAnnounce:
+			var a announceMsg
+			if decodeBody(body, &a) == nil {
+				n.mergeMembers(a.Members)
+			}
+		case kindQuery:
+			var q queryMsg
+			if decodeBody(body, &q) == nil {
+				n.process(&q)
+			}
+		case kindResult:
+			var res resultMsg
+			if decodeBody(body, &res) == nil {
+				n.onReturn(res.Epoch, res.QID, res.Credit, res.Entries, false)
+			}
+		case kindDrop:
+			var d dropMsg
+			if decodeBody(body, &d) == nil {
+				n.onReturn(d.Epoch, d.QID, d.Credit, nil, true)
+			}
+		}
+	})
+}
+
+// ---- membership (executor-owned) ----
+
+// addMember records one member and recomputes ownership if the view
+// changed.
+func (n *Node) addMember(id uint64, addr string) {
+	if addr == "" {
+		return
+	}
+	if cur, ok := n.members[id]; ok && cur == addr {
+		return
+	}
+	n.members[id] = addr
+	n.rebuildView()
+	n.logf("member %016x @ %s (now %d members)", id, addr, len(n.members))
+}
+
+// mergeMembers folds a received membership list into the view.
+func (n *Node) mergeMembers(ms []Member) {
+	changed := false
+	for _, m := range ms {
+		if m.Addr == "" {
+			continue
+		}
+		if cur, ok := n.members[m.ID]; !ok || cur != m.Addr {
+			n.members[m.ID] = m.Addr
+			changed = true
+		}
+	}
+	if changed {
+		n.rebuildView()
+		n.logf("membership merged to %d members", len(n.members))
+	}
+}
+
+// rebuildView refreshes the sorted ring, the owned corpus slice, and
+// the handshake snapshot after any membership change.
+func (n *Node) rebuildView() {
+	n.ring = n.ring[:0]
+	for id := range n.members { //lint:allow maporder sorted immediately below
+		n.ring = append(n.ring, id)
+	}
+	sort.Slice(n.ring, func(i, j int) bool { return n.ring[i] < n.ring[j] })
+	n.owned = n.owned[:0]
+	for i := 0; i < n.data.N(); i++ {
+		if n.successor(uint64(n.data.Key(i))) == n.id {
+			n.owned = append(n.owned, i)
+		}
+	}
+	snap := make([]Member, len(n.ring))
+	for i, id := range n.ring {
+		snap[i] = Member{ID: id, Addr: n.members[id]}
+	}
+	n.memberSnap.Store(snap)
+}
+
+// successor returns the member owning ring position key: the first
+// member ID ≥ key, wrapping to the smallest.
+func (n *Node) successor(key uint64) uint64 {
+	i := sort.Search(len(n.ring), func(i int) bool { return n.ring[i] >= key })
+	if i == len(n.ring) {
+		i = 0
+	}
+	return n.ring[i]
+}
+
+// snapshot returns the current membership, safe from any goroutine.
+func (n *Node) snapshot() []Member {
+	if v := n.memberSnap.Load(); v != nil {
+		return v.([]Member)
+	}
+	return []Member{{ID: n.id, Addr: n.addr}}
+}
+
+// gossipTick sends the full view to one random member — the
+// anti-entropy path that heals views after restarts and lost
+// announces. Executor-owned (the random draw uses the protocol
+// source).
+func (n *Node) gossipTick() {
+	if len(n.ring) < 2 {
+		return
+	}
+	peer := n.ring[n.rt.Rand().Intn(len(n.ring))]
+	if peer == n.id {
+		return
+	}
+	n.sendTo(n.members[peer], kindAnnounce, announceMsg{Members: n.snapshot()})
+}
+
+// ---- sending ----
+
+// ensureLink returns the link for a peer address, creating it (and its
+// writer goroutine) on first use.
+func (n *Node) ensureLink(addr string) *link {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	if l, ok := n.links[addr]; ok {
+		return l
+	}
+	if n.closed.Load() {
+		return nil
+	}
+	l := newLink(n, addr)
+	n.links[addr] = l
+	return l
+}
+
+// sendTo encodes one message and queues it on the peer's link. Never
+// blocks; a full queue sheds the frame (the credit accounting turns
+// that into an honest incomplete query).
+func (n *Node) sendTo(addr string, kind byte, msg any) {
+	if addr == "" || addr == n.addr {
+		return
+	}
+	payload, err := encodeMsg(kind, msg)
+	if err != nil {
+		return
+	}
+	if l := n.ensureLink(addr); l != nil {
+		l.enqueue(payload)
+	}
+}
+
+// acceptLoop serves the listener: every accepted connection identifies
+// itself with its first frame — a peer Hello or a client hello.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// LinkStats aggregates the node's link-layer counters.
+type LinkStats struct {
+	Links         int
+	Queued        int
+	Shed          int64
+	Redials       int64
+	Sent          int64
+	FramesDropped int64
+	ConnsKilled   int64
+}
+
+// Stats snapshots the link layer. Safe from any goroutine.
+func (n *Node) Stats() LinkStats {
+	var s LinkStats
+	n.linkMu.Lock()
+	for _, l := range n.links { //lint:allow maporder summing counters is order-independent
+		q, shed, redials, sent := l.stats()
+		s.Links++
+		s.Queued += q
+		s.Shed += shed
+		s.Redials += redials
+		s.Sent += sent
+	}
+	n.linkMu.Unlock()
+	s.FramesDropped = n.framesDropped.Load()
+	s.ConnsKilled = n.connsKilled.Load()
+	return s
+}

@@ -1,0 +1,382 @@
+package netrt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/runtime"
+)
+
+func testData() DataConfig {
+	return DataConfig{Metric: "euclid", Seed: 11, Objects: 512, Dim: 3, Landmarks: 4}
+}
+
+func testConfig(data DataConfig, join ...string) Config {
+	return Config{
+		Listen:       "127.0.0.1:0",
+		Join:         join,
+		Data:         data,
+		Deadline:     2 * time.Second,
+		GossipPeriod: 100 * time.Millisecond,
+	}
+}
+
+func startRing(t *testing.T, size int, data DataConfig) []*Node {
+	t.Helper()
+	nodes := make([]*Node, size)
+	first, err := Start(testConfig(data))
+	if err != nil {
+		t.Fatalf("start first node: %v", err)
+	}
+	nodes[0] = first
+	for i := 1; i < size; i++ {
+		n, err := Start(testConfig(data, first.Addr()))
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	waitConverged(t, nodes, size)
+	return nodes
+}
+
+func waitConverged(t *testing.T, nodes []*Node, want int) {
+	t.Helper()
+	waitFor(t, 15*time.Second, func() bool {
+		for _, n := range nodes {
+			if n != nil && len(n.snapshot()) < want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func sameIDs(a, b []ResultEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Obj != b[i].Obj {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetIDs(sub, super []ResultEntry) bool {
+	have := make(map[int32]bool, len(super))
+	for _, e := range super {
+		have[e.Obj] = true
+	}
+	for _, e := range sub {
+		if !have[e.Obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRingExactQueries boots a 4-node localhost ring and checks
+// Complete ⇒ exact against brute force, querying every node.
+func TestRingExactQueries(t *testing.T) {
+	data := testData()
+	nodes := startRing(t, 4, data)
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 12; i++ {
+		qobj := ds.RandomQuery(rng)
+		r := 0.2 + 0.3*rng.Float64()
+		out, err := nodes[i%len(nodes)].Query(qobj, r, 5*time.Second)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !out.Complete {
+			t.Fatalf("query %d incomplete on a healthy ring (dropped %d)", i, out.Dropped)
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(out.Entries, want) {
+			t.Fatalf("query %d: got %d entries, brute force %d", i, len(out.Entries), len(want))
+		}
+	}
+}
+
+// TestRingClientProtocol exercises the TCP client path: handshake,
+// info, concurrent queries.
+func TestRingClientProtocol(t *testing.T) {
+	data := testData()
+	nodes := startRing(t, 3, data)
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(nodes[1].Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Info(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != nodes[1].ID() || len(info.Members) != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5; i++ {
+				qobj := ds.RandomQuery(rng)
+				r := 0.2 + 0.3*rng.Float64()
+				out, err := c.Query(qobj, r, 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := ds.BruteForce(qobj, r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if out.Complete && !sameIDs(out.Entries, want) {
+					errs <- errMismatch
+					return
+				}
+			}
+			errs <- nil
+		}(int64(g) + 1)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "complete result does not match brute force" }
+
+// TestRingSurvivesKillRestart kills a member (its entries become
+// unreachable: queries stay honest), restarts it on the same address,
+// and requires post-recovery queries to be Complete and exact again.
+func TestRingSurvivesKillRestart(t *testing.T) {
+	data := testData()
+	nodes := startRing(t, 4, data)
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+
+	victim := nodes[2]
+	addr := victim.Addr()
+	victim.Close()
+	nodes[2] = nil
+
+	// While the member is down, answers must stay honest: complete
+	// results exact, incomplete ones a subset.
+	for i := 0; i < 3; i++ {
+		qobj := ds.RandomQuery(rng)
+		r := 0.25 + 0.2*rng.Float64()
+		out, err := nodes[0].Query(qobj, r, 5*time.Second)
+		if err != nil {
+			t.Fatalf("query with dead member: %v", err)
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Complete {
+			if !sameIDs(out.Entries, want) {
+				t.Fatalf("complete-but-wrong with dead member: got %d want %d", len(out.Entries), len(want))
+			}
+		} else if !subsetIDs(out.Entries, want) {
+			t.Fatalf("incomplete result is not a subset")
+		}
+	}
+
+	// Restart on the same address: same node ID, same ownership. The
+	// survivors' links redial on demand; gossip restores its view.
+	cfg := testConfig(data, nodes[0].Addr())
+	cfg.Listen = addr
+	restarted, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	nodes[2] = restarted
+	if restarted.ID() != NodeID(addr) {
+		t.Fatalf("restarted node changed identity")
+	}
+	waitConverged(t, nodes, 4)
+
+	// Post-recovery queries must converge back to Complete ∧ exact.
+	// Allow a few attempts while links re-establish.
+	waitFor(t, 20*time.Second, func() bool {
+		qobj := ds.RandomQuery(rng)
+		r := 0.25 + 0.2*rng.Float64()
+		out, err := nodes[0].Query(qobj, r, 5*time.Second)
+		if err != nil {
+			return false
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Complete {
+			return false
+		}
+		if !sameIDs(out.Entries, want) {
+			t.Fatalf("complete-but-wrong after recovery: got %d want %d", len(out.Entries), len(want))
+		}
+		return true
+	})
+}
+
+// TestEditMetricRing runs the second metric end to end: exactness is
+// metric-independent.
+func TestEditMetricRing(t *testing.T) {
+	data := DataConfig{Metric: "edit", Seed: 3, Objects: 256, Landmarks: 4}
+	nodes := startRing(t, 2, data)
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5; i++ {
+		qobj := ds.RandomQuery(rng)
+		r := float64(1 + rng.Intn(3))
+		out, err := nodes[i%2].Query(qobj, r, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Complete {
+			t.Fatalf("incomplete on a healthy 2-node ring")
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(out.Entries, want) {
+			t.Fatalf("edit query %d: got %d entries, brute force %d", i, len(out.Entries), len(want))
+		}
+	}
+}
+
+// TestLinkFaultInjection drives the ring through the shared
+// runtime.FaultPolicy path (the same LinkFaults livert uses): frames
+// must actually drop, and every answer must stay honest — complete
+// results exact, incomplete ones a subset.
+func TestLinkFaultInjection(t *testing.T) {
+	data := testData()
+	cfg := testConfig(data)
+	cfg.Faults = &runtime.FaultPolicy{FrameDrop: 0.25, Seed: 5}
+	cfg.Deadline = time.Second
+	first, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	cfg2 := testConfig(data, first.Addr())
+	cfg2.Faults = cfg.Faults
+	cfg2.Deadline = time.Second
+	second, err := Start(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	waitConverged(t, []*Node{first, second}, 2)
+
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		qobj := ds.RandomQuery(rng)
+		r := 0.2 + 0.3*rng.Float64()
+		out, err := first.Query(qobj, r, 3*time.Second)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Complete {
+			if !sameIDs(out.Entries, want) {
+				t.Fatalf("query %d: complete but inexact under frame drops", i)
+			}
+		} else if !subsetIDs(out.Entries, want) {
+			t.Fatalf("query %d: incomplete result is not a subset", i)
+		}
+	}
+	dropped := first.Stats().FramesDropped + second.Stats().FramesDropped
+	if dropped == 0 {
+		t.Fatal("FrameDrop 0.25 set but no frame was dropped")
+	}
+}
+
+// TestCorpusSignatureMismatch: nodes built from different seeds must
+// refuse to link.
+func TestCorpusSignatureMismatch(t *testing.T) {
+	a, err := Start(testConfig(testData()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	other := testData()
+	other.Seed = 999
+	b, err := Start(testConfig(other, a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	time.Sleep(500 * time.Millisecond)
+	if len(a.snapshot()) != 1 || len(b.snapshot()) != 1 {
+		t.Fatalf("mismatched corpora linked anyway: a=%d b=%d members", len(a.snapshot()), len(b.snapshot()))
+	}
+}
+
+// TestSplitCredit pins credit conservation.
+func TestSplitCredit(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 7, 64} {
+		shares := splitCredit(creditTotal, parts)
+		if len(shares) != parts {
+			t.Fatalf("parts=%d: %d shares", parts, len(shares))
+		}
+		var sum uint64
+		for _, s := range shares {
+			if s == 0 {
+				t.Fatalf("parts=%d: zero share", parts)
+			}
+			sum += s
+		}
+		if sum != creditTotal {
+			t.Fatalf("parts=%d: shares sum %d, want %d", parts, sum, creditTotal)
+		}
+	}
+	if splitCredit(3, 5) != nil {
+		t.Fatal("underfunded split must return nil")
+	}
+	if splitCredit(10, 0) != nil {
+		t.Fatal("zero parts must return nil")
+	}
+}

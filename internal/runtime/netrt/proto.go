@@ -1,0 +1,167 @@
+package netrt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"landmarkdht/internal/query"
+)
+
+// Frame payloads are self-describing: one kind byte followed by the
+// gob encoding of that kind's message struct. Unlike the simulation
+// path — where delivery callbacks carry prebound local state and the
+// wire bytes only prove the size model — a multi-process ring has no
+// shared memory, so everything a handler needs travels in the frame.
+const (
+	// Peer frames (node ↔ node).
+	kindHello    byte = 1 // dialer's handshake: identity + membership
+	kindWelcome  byte = 2 // listener's handshake response
+	kindReject   byte = 3 // handshake refusal (corpus signature mismatch)
+	kindAnnounce byte = 4 // membership gossip
+	kindQuery    byte = 5 // one subquery region with credit
+	kindResult   byte = 6 // answered region: credit + entries, to origin
+	kindDrop     byte = 7 // unanswerable region: credit back, to origin
+
+	// Client frames (client ↔ node, correlated by frame id).
+	kindClientHello   byte = 16
+	kindClientWelcome byte = 17
+	kindClientQuery   byte = 18
+	kindClientResult  byte = 19
+	kindClientInfo    byte = 20
+	kindClientInfoR   byte = 21
+)
+
+// Member is one ring member: its node ID (a position on the key ring)
+// and the TCP address its listener is reachable at.
+type Member struct {
+	ID   uint64
+	Addr string
+}
+
+// helloMsg is both sides of the peer handshake (Hello and Welcome
+// share the shape): identity, listen address, corpus signature, and a
+// full membership snapshot. The signature pins the deterministic
+// corpus parameters — two nodes built from different seeds would
+// silently disagree on ownership and landmarks, so they refuse to
+// link.
+type helloMsg struct {
+	From    uint64
+	Addr    string
+	Sig     uint64
+	Members []Member
+}
+
+// announceMsg is the anti-entropy gossip payload: the sender's full
+// membership view. Receivers merge; members are never evicted (a
+// SIGKILLed process restarts with the same address and identity).
+type announceMsg struct {
+	Members []Member
+}
+
+// queryMsg carries one subquery region. Origin/OriginAddr let any
+// answering node ship results straight back; Epoch identifies the
+// origin's process incarnation — a restarted node reuses qids, so
+// returns are routed by (Epoch, QID) and frames queued for a dead
+// incarnation cannot corrupt its successor's queries; Credit
+// implements distributed termination (the origin's initial credit is
+// split across every forward, and Complete means every share came home
+// via Result frames with none via Drop); QObj is the metric-specific
+// encoding of the query object so answering nodes refine candidates by
+// exact distance; TTL bounds forwarding under membership-view
+// disagreement.
+type queryMsg struct {
+	Origin     uint64
+	OriginAddr string
+	Epoch      uint64
+	QID        uint64
+	Credit     uint64
+	Region     query.Region
+	QObj       []byte
+	R          float64
+	TTL        int
+}
+
+// ResultEntry is one matching object: its corpus index and exact
+// metric distance to the query.
+type ResultEntry struct {
+	Obj  int32
+	Dist float64
+}
+
+// resultMsg returns one answered region's credit share and entries to
+// the query origin. Epoch echoes the queryMsg's origin incarnation.
+type resultMsg struct {
+	Epoch   uint64
+	QID     uint64
+	Credit  uint64
+	From    uint64
+	Entries []ResultEntry
+}
+
+// dropMsg returns a region's credit share without an answer: the
+// query can still terminate, but not Complete. Epoch echoes the
+// queryMsg's origin incarnation.
+type dropMsg struct {
+	Epoch  uint64
+	QID    uint64
+	Credit uint64
+	From   uint64
+	Reason string
+}
+
+// clientWelcomeMsg answers a client handshake.
+type clientWelcomeMsg struct {
+	ID   uint64
+	Addr string
+}
+
+// clientQueryMsg asks the node to run one range query.
+type clientQueryMsg struct {
+	QObj []byte
+	R    float64
+}
+
+// clientResultMsg is a finished query: Complete ⇒ Entries is the exact
+// range-query answer; otherwise it is an honest subset and Dropped
+// counts the regions lost for good.
+type clientResultMsg struct {
+	Complete bool
+	Dropped  int
+	Err      string
+	Entries  []ResultEntry
+}
+
+// infoMsg answers a client info request: the node's identity, view of
+// the ring, and how much of the corpus it currently owns.
+type infoMsg struct {
+	ID      uint64
+	Addr    string
+	Members []Member
+	Store   int
+}
+
+// encodeMsg builds a frame payload: kind byte + gob body.
+func encodeMsg(kind byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(kind)
+	if v != nil {
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return nil, fmt.Errorf("netrt: encode kind %d: %w", kind, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// splitMsg separates a frame payload into kind and body.
+func splitMsg(payload []byte) (kind byte, body []byte, err error) {
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("netrt: empty frame payload")
+	}
+	return payload[0], payload[1:], nil
+}
+
+// decodeBody parses a gob body into v.
+func decodeBody(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}

@@ -1,0 +1,238 @@
+package netrt
+
+import (
+	"sort"
+	"time"
+
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/query"
+	"landmarkdht/internal/runtime"
+)
+
+// creditTotal is a query's initial credit. Credit is conserved: every
+// split divides it into shares that sum exactly, and every share comes
+// home in a Result or Drop frame — when returned+dropped equals the
+// total, the query has terminated. 2⁶² leaves 62 halvings before a
+// share could hit zero; real decompositions split a few dozen times.
+const creditTotal = uint64(1) << 62
+
+// originQuery is the origin-side state of one running query.
+type originQuery struct {
+	qid        uint64
+	total      uint64
+	returned   uint64
+	dropped    uint64
+	droppedCnt int
+	results    map[int32]float64
+	deadline   runtime.Timer
+	done       func(QueryOutcome, error)
+}
+
+// QueryOutcome is a finished query. Complete ⇒ Entries is the exact
+// range-query answer over the corpus; otherwise it is an honest subset
+// and Dropped counts the region shards lost for good.
+type QueryOutcome struct {
+	Complete bool
+	Dropped  int
+	Entries  []ResultEntry
+}
+
+// startQuery begins a query at this node (executor only). done fires
+// exactly once, on the executor, when all credit is home or the
+// deadline expires.
+func (n *Node) startQuery(qobj []byte, r float64, done func(QueryOutcome, error)) {
+	reg, err := n.data.QueryRegion(qobj, r)
+	if err != nil {
+		done(QueryOutcome{}, err)
+		return
+	}
+	n.nextQID++
+	qid := n.nextQID
+	oq := &originQuery{
+		qid:     qid,
+		total:   creditTotal,
+		results: make(map[int32]float64),
+		done:    done,
+	}
+	n.queries[qid] = oq
+	oq.deadline = n.rt.AfterFunc(n.cfg.Deadline, func() { n.expire(qid) })
+	n.process(&queryMsg{
+		Origin: n.id, OriginAddr: n.addr, Epoch: n.epoch, QID: qid,
+		Credit: creditTotal, Region: reg, QObj: qobj, R: r, TTL: n.cfg.TTL,
+	})
+}
+
+// Query runs one range query from this node and blocks until it
+// finishes or timeout elapses. Safe from any goroutine.
+func (n *Node) Query(qobj []byte, r float64, timeout time.Duration) (QueryOutcome, error) {
+	var out QueryOutcome
+	var qerr error
+	err := n.rt.Await(timeout, func(finish func()) error {
+		n.startQuery(qobj, r, func(o QueryOutcome, err error) {
+			out, qerr = o, err
+			finish()
+		})
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, qerr
+}
+
+// process executes one subquery step at this node (executor only): the
+// port of the routing half of the protocol to direct-to-owner routing.
+// With a full membership view the ring is permanently "stabilized", so
+// instead of Chord hops the region goes straight to the successor of
+// its key span; the surrogate-refinement decomposition (Algorithm 5)
+// is unchanged from the in-process runtimes.
+func (n *Node) process(q *queryMsg) {
+	if q.TTL <= 0 {
+		// Forwarding did not converge (membership views disagree under
+		// churn). Return the credit as dropped: the origin terminates
+		// honestly instead of hanging until the deadline.
+		n.returnDrop(q, q.Credit, "ttl exhausted")
+		return
+	}
+	lo, _ := lph.CuboidSpan(q.Region.PreKey, q.Region.PreLen)
+	owner := n.successor(uint64(n.data.Part().Ring(lo)))
+	if owner != n.id {
+		fq := *q
+		fq.TTL--
+		n.sendTo(n.members[owner], kindQuery, &fq)
+		return
+	}
+	// This node is the surrogate: keys of the region's cuboid at or
+	// below vid are owned here; every maximal sub-cuboid above vid (one
+	// per zero bit of vid past the prefix) is clipped to the query cube
+	// and forwarded to its own owner.
+	part := n.data.Part()
+	vid := part.Unring(lph.Key(n.id))
+	var subs []query.Region
+	if lph.SamePrefix(q.Region.PreKey, vid, q.Region.PreLen) {
+		for z := lph.FirstZeroBitAfter(vid, q.Region.PreLen); z != 0; z = lph.FirstZeroBitAfter(vid, z) {
+			upper := lph.SetBit(lph.Prefix(vid, z-1), z)
+			if sub, ok := query.Restrict(part, q.Region, upper, z); ok {
+				subs = append(subs, sub)
+			}
+		}
+	}
+	shares := splitCredit(q.Credit, len(subs)+1)
+	if shares == nil {
+		n.returnDrop(q, q.Credit, "credit exhausted")
+		return
+	}
+	for i, sub := range subs {
+		sq := *q
+		sq.Region = sub
+		sq.Credit = shares[i+1]
+		sq.TTL = q.TTL - 1
+		n.process(&sq)
+	}
+	lq := *q
+	lq.Credit = shares[0]
+	n.answerLocal(&lq)
+}
+
+// splitCredit divides credit into parts shares that sum exactly to
+// credit, each positive. nil when the credit cannot cover the parts.
+func splitCredit(credit uint64, parts int) []uint64 {
+	if parts <= 0 || credit < uint64(parts) {
+		return nil
+	}
+	base := credit / uint64(parts)
+	shares := make([]uint64, parts)
+	for i := range shares {
+		shares[i] = base
+	}
+	shares[0] += credit % uint64(parts)
+	return shares
+}
+
+// answerLocal resolves one region against the owned slice of the
+// corpus — cube scan, then exact-distance refinement — and returns the
+// entries with the region's credit share to the origin. Over-coverage
+// under membership-view skew is harmless: the origin merges per
+// object.
+func (n *Node) answerLocal(q *queryMsg) {
+	eval, err := n.data.Evaluator(q.QObj)
+	if err != nil {
+		n.returnDrop(q, q.Credit, "bad query object")
+		return
+	}
+	var ents []ResultEntry
+	for _, i := range n.owned {
+		if !q.Region.Contains(n.data.Point(i)) {
+			continue
+		}
+		if d := eval(i); d <= q.R {
+			ents = append(ents, ResultEntry{Obj: int32(i), Dist: d})
+		}
+	}
+	if q.Origin == n.id {
+		n.onReturn(q.Epoch, q.QID, q.Credit, ents, false)
+		return
+	}
+	n.sendTo(q.OriginAddr, kindResult, resultMsg{Epoch: q.Epoch, QID: q.QID, Credit: q.Credit, From: n.id, Entries: ents})
+}
+
+// returnDrop sends a region's credit home unanswered.
+func (n *Node) returnDrop(q *queryMsg, credit uint64, reason string) {
+	if q.Origin == n.id {
+		n.onReturn(q.Epoch, q.QID, credit, nil, true)
+		return
+	}
+	n.sendTo(q.OriginAddr, kindDrop, dropMsg{Epoch: q.Epoch, QID: q.QID, Credit: credit, From: n.id, Reason: reason})
+}
+
+// onReturn books one credit share coming home (executor only). Late
+// frames for finished or expired queries are ignored — their qid is
+// gone from the table — and frames addressed to a previous process
+// incarnation (epoch mismatch after a restart reset the qid counter)
+// are discarded before they can corrupt an unrelated query.
+func (n *Node) onReturn(epoch, qid, credit uint64, ents []ResultEntry, isDrop bool) {
+	if epoch != n.epoch {
+		return
+	}
+	oq := n.queries[qid]
+	if oq == nil {
+		return
+	}
+	if isDrop {
+		oq.dropped += credit
+		oq.droppedCnt++
+	} else {
+		oq.returned += credit
+		for _, e := range ents {
+			if d, ok := oq.results[e.Obj]; !ok || e.Dist < d {
+				oq.results[e.Obj] = e.Dist
+			}
+		}
+	}
+	if oq.returned+oq.dropped >= oq.total {
+		n.finishQuery(oq, oq.dropped == 0 && oq.returned == oq.total)
+	}
+}
+
+// expire finishes a query whose deadline fired before all credit came
+// home: the results so far are a correct subset, reported incomplete.
+func (n *Node) expire(qid uint64) {
+	oq := n.queries[qid]
+	if oq == nil {
+		return
+	}
+	n.finishQuery(oq, false)
+}
+
+// finishQuery completes one query exactly once: stop the deadline,
+// drop the origin state, deliver merged entries sorted by object.
+func (n *Node) finishQuery(oq *originQuery, complete bool) {
+	oq.deadline.Stop()
+	delete(n.queries, oq.qid)
+	entries := make([]ResultEntry, 0, len(oq.results))
+	for obj, d := range oq.results { //lint:allow maporder sorted immediately below
+		entries = append(entries, ResultEntry{Obj: obj, Dist: d})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Obj < entries[j].Obj })
+	oq.done(QueryOutcome{Complete: complete, Dropped: oq.droppedCnt, Entries: entries}, nil)
+}

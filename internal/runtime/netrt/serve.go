@@ -1,0 +1,192 @@
+package netrt
+
+import (
+	"net"
+	"time"
+
+	"landmarkdht/internal/wire"
+)
+
+// serveConn handles one accepted connection. The first frame
+// identifies the peer: a Hello starts a node link, a client hello
+// starts a client session, anything else (including a hostile stream —
+// wire.ReadFrame's typed errors) drops the connection.
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		conn.Close()
+		return
+	}
+	id, payload, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	kind, body, err := splitMsg(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch kind {
+	case kindHello:
+		n.acceptPeer(conn, body)
+	case kindClientHello:
+		if writeFrame(conn, id, kindClientWelcome, clientWelcomeMsg{ID: n.id, Addr: n.addr}) != nil {
+			conn.Close()
+			return
+		}
+		if conn.SetDeadline(time.Time{}) != nil {
+			conn.Close()
+			return
+		}
+		n.serveClient(conn)
+	default:
+		conn.Close()
+	}
+}
+
+// acceptPeer completes the listener side of the peer handshake and
+// attaches the connection to the peer's link.
+func (n *Node) acceptPeer(conn net.Conn, body []byte) {
+	var h helloMsg
+	if decodeBody(body, &h) != nil || h.Addr == "" {
+		conn.Close()
+		return
+	}
+	if h.Sig != n.sig {
+		// Refuse explicitly so the dialer logs the real cause instead
+		// of a silent disconnect, then drop: a node built from a
+		// different seed can never agree on ownership.
+		_ = writeFrame(conn, 1, kindReject, nil)
+		n.logf("rejected %s: corpus signature mismatch", h.Addr)
+		conn.Close()
+		return
+	}
+	if writeFrame(conn, 1, kindWelcome, helloMsg{From: n.id, Addr: n.addr, Sig: n.sig, Members: n.snapshot()}) != nil {
+		conn.Close()
+		return
+	}
+	if conn.SetDeadline(time.Time{}) != nil {
+		conn.Close()
+		return
+	}
+	members := h.Members
+	n.rt.Schedule(0, func() {
+		n.addMember(h.From, h.Addr)
+		n.mergeMembers(members)
+	})
+	n.logf("link up from %s (node %016x, accepted)", h.Addr, h.From)
+	l := n.ensureLink(h.Addr)
+	if l == nil {
+		conn.Close()
+		return
+	}
+	l.attach(conn, h.From, h.From)
+}
+
+// writeFrame encodes and writes one framed message.
+func writeFrame(conn net.Conn, id uint64, kind byte, msg any) error {
+	payload, err := encodeMsg(kind, msg)
+	if err != nil {
+		return err
+	}
+	frame, err := wire.AppendFrame(nil, id, payload)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write(frame)
+	return err
+}
+
+// serveClient runs one client session: queries and info requests,
+// each answered with the request's frame id so the client can
+// correlate concurrent calls. Replies flow through a bounded channel
+// drained by a writer goroutine, so a stalled client never blocks the
+// protocol executor — it gets disconnected instead.
+func (n *Node) serveClient(conn net.Conn) {
+	n.clientMu.Lock()
+	if n.clients == nil {
+		n.clientMu.Unlock()
+		conn.Close()
+		return
+	}
+	n.clients[conn] = struct{}{}
+	n.clientMu.Unlock()
+	done := make(chan struct{})
+	defer func() {
+		close(done)
+		n.clientMu.Lock()
+		if n.clients != nil {
+			delete(n.clients, conn)
+		}
+		n.clientMu.Unlock()
+		conn.Close()
+	}()
+	out := make(chan []byte, 64)
+	go func() {
+		for {
+			select {
+			case frame := <-out:
+				if _, err := conn.Write(frame); err != nil {
+					conn.Close()
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	reply := func(id uint64, kind byte, msg any) {
+		payload, err := encodeMsg(kind, msg)
+		if err != nil {
+			return
+		}
+		frame, err := wire.AppendFrame(nil, id, payload)
+		if err != nil {
+			return
+		}
+		select {
+		case out <- frame:
+		default:
+			conn.Close() // client too slow to read its own replies
+		}
+	}
+	var buf []byte
+	for {
+		id, payload, next, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		buf = next
+		kind, body, err := splitMsg(payload)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case kindClientQuery:
+			var cq clientQueryMsg
+			if decodeBody(body, &cq) != nil {
+				return
+			}
+			reqID := id
+			n.rt.Schedule(0, func() {
+				n.startQuery(cq.QObj, cq.R, func(out QueryOutcome, err error) {
+					msg := clientResultMsg{Complete: out.Complete, Dropped: out.Dropped, Entries: out.Entries}
+					if err != nil {
+						msg.Err = err.Error()
+					}
+					reply(reqID, kindClientResult, msg)
+				})
+			})
+		case kindClientInfo:
+			reqID := id
+			n.rt.Schedule(0, func() {
+				reply(reqID, kindClientInfoR, infoMsg{
+					ID: n.id, Addr: n.addr, Members: n.snapshot(), Store: len(n.owned),
+				})
+			})
+		default:
+			return
+		}
+	}
+}

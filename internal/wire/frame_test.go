@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0xde},
+		bytes.Repeat([]byte{0xab}, 1024),
+		bytes.Repeat([]byte{0x00}, MaxFramePayload),
+	}
+	var stream []byte
+	for i, p := range payloads {
+		var err error
+		stream, err = AppendFrame(stream, uint64(i)*0x0101010101010101, p)
+		if err != nil {
+			t.Fatalf("AppendFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i, want := range payloads {
+		id, payload, next, err := ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		buf = next
+		if id != uint64(i)*0x0101010101010101 {
+			t.Fatalf("frame %d: id = %#x", i, id)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(payload), len(want))
+		}
+	}
+	if _, _, _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("clean end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestAppendFrameOversized(t *testing.T) {
+	_, err := AppendFrame(nil, 1, make([]byte, MaxFramePayload+1))
+	var fe *FrameError
+	if !errors.As(err, &fe) || fe.Reason != "oversized" {
+		t.Fatalf("err = %v, want oversized *FrameError", err)
+	}
+}
+
+// TestReadFrameHostile feeds corrupt and truncated streams to ReadFrame
+// and requires a typed *FrameError — never a panic, never an attempt to
+// allocate the declared (hostile) payload size.
+func TestReadFrameHostile(t *testing.T) {
+	okFrame, err := AppendFrame(nil, 7, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oversized := make([]byte, FrameHeader)
+	binary.BigEndian.PutUint32(oversized[8:12], MaxFramePayload+1)
+	huge := make([]byte, FrameHeader)
+	binary.BigEndian.PutUint32(huge[8:12], 0xffffffff)
+
+	cases := []struct {
+		name   string
+		stream []byte
+		reason string
+	}{
+		{"truncated header", okFrame[:5], "truncated header"},
+		{"header only", okFrame[:FrameHeader], "truncated payload"},
+		{"truncated payload", okFrame[:len(okFrame)-3], "truncated payload"},
+		{"oversized declaration", oversized, "oversized"},
+		{"4GiB declaration", huge, "oversized"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := ReadFrame(bytes.NewReader(tc.stream), nil)
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("err = %v, want *FrameError", err)
+			}
+			if fe.Reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", fe.Reason, tc.reason)
+			}
+			if fe.Error() == "" {
+				t.Fatal("empty error string")
+			}
+		})
+	}
+}
+
+// TestReadFrameBufferReuse verifies the read buffer grows once and is
+// reused for subsequent smaller frames.
+func TestReadFrameBufferReuse(t *testing.T) {
+	stream, _ := AppendFrame(nil, 1, make([]byte, 512))
+	stream, _ = AppendFrame(stream, 2, make([]byte, 16))
+	r := bytes.NewReader(stream)
+	_, p1, buf, err := ReadFrame(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(buf) < 512 {
+		t.Fatalf("buffer cap %d after 512-byte frame", cap(buf))
+	}
+	first := &p1[0]
+	_, p2, _, err := ReadFrame(r, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != 16 || &p2[0] != first {
+		t.Fatal("second read did not reuse the grown buffer")
+	}
+}

@@ -1,0 +1,72 @@
+package landmarkdht_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	lm "landmarkdht"
+)
+
+// TestNodeAPI boots a 2-node TCP ring through the public NodeOptions
+// surface and checks a complete query against the other node's view.
+func TestNodeAPI(t *testing.T) {
+	opts := lm.NodeOptions{
+		Listen: "127.0.0.1:0", Seed: 21, Metric: "euclid",
+		Objects: 256, Dim: 3, Landmarks: 4,
+		GossipPeriod: 100 * time.Millisecond,
+	}
+	a, err := lm.StartNode(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	opts.Join = []string{a.Addr()}
+	b, err := lm.StartNode(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	c, err := lm.DialNode(b.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info, err := c.Info(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.Members) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never converged: %d members", len(info.Members))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	q := lm.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+	fromA, err := a.QueryVector(q, 0.4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromB, err := b.QueryVector(q, 0.4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromA.Complete || !fromB.Complete {
+		t.Fatalf("incomplete on a healthy ring: a=%v b=%v", fromA.Complete, fromB.Complete)
+	}
+	if len(fromA.Entries) != len(fromB.Entries) {
+		t.Fatalf("nodes disagree: %d vs %d entries", len(fromA.Entries), len(fromB.Entries))
+	}
+	for i := range fromA.Entries {
+		if fromA.Entries[i].Obj != fromB.Entries[i].Obj {
+			t.Fatalf("entry %d: %d vs %d", i, fromA.Entries[i].Obj, fromB.Entries[i].Obj)
+		}
+	}
+}
