@@ -13,11 +13,17 @@ vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
-# Project-specific determinism linters (cmd/lmlint) plus staticcheck
-# when available. lmlint enforces the simulator's reproducibility
-# contract: no global math/rand, no wall clock, no order-sensitive map
-# iteration, no concurrency in engine-owned packages.
+# Project-specific determinism and concurrency-contract linters
+# (cmd/lmlint) plus staticcheck when available. lmlint enforces the
+# simulator's reproducibility contract (no global math/rand, no wall
+# clock, no order-sensitive map iteration, no concurrency in
+# engine-owned packages) and the live runtimes' concurrency contracts
+# (no blocking on the protocol executor, no mutex held across a
+# blocking call, no dropped errors on wire paths, no stale or
+# unexplained suppressions). The analyzer suite's own tests run first
+# so a broken analyzer can't silently pass the module.
 lint:
+	$(GO) test ./internal/analysis/...
 	$(GO) run ./cmd/lmlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \

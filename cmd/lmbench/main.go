@@ -199,13 +199,13 @@ func parseBenchOutput(out string, rep *Report) error {
 		}
 		a.n++
 		a.b.Iterations += iters
-		for unit, v := range metrics { //lint:allow maporder commutative accumulation
+		for unit, v := range metrics {
 			a.b.Metrics[unit] += v
 		}
 	}
 	for _, key := range order {
 		a := accs[key]
-		for unit := range a.b.Metrics { //lint:allow maporder commutative scaling
+		for unit := range a.b.Metrics {
 			a.b.Metrics[unit] /= float64(a.n)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, a.b)
@@ -261,7 +261,7 @@ func compare(w *os.File, old, cur *Report, threshold float64) bool {
 		}
 		// Custom metrics: informational only.
 		var custom []string
-		for unit := range nb.Metrics { //lint:allow maporder sorted before printing
+		for unit := range nb.Metrics {
 			if unit != "ns/op" && unit != "B/op" && unit != "allocs/op" {
 				custom = append(custom, unit)
 			}
@@ -274,7 +274,7 @@ func compare(w *os.File, old, cur *Report, threshold float64) bool {
 		}
 	}
 	var gone []string
-	for key := range oldBy { //lint:allow maporder sorted before printing
+	for key := range oldBy {
 		gone = append(gone, key)
 	}
 	sort.Strings(gone)

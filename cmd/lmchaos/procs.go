@@ -98,7 +98,7 @@ func realProcs(o procOpts) int {
 			return 2
 		}
 		addrs[i] = ln.Addr().String()
-		ln.Close()
+		_ = ln.Close() //lint:allow errdrop port-reservation probe: the listener existed only to pick a free port
 	}
 	for i, addr := range addrs {
 		join := ""

@@ -11,6 +11,14 @@
 //	maporder     no order-sensitive effects inside range-over-map
 //	nogoroutine  no goroutines/channels/sync in engine-owned code
 //
+// and the live runtime's concurrency contract (call-graph-aware; see
+// internal/analysis's CallGraph and //lint:context executor roots):
+//
+//	execblock    no blocking ops reachable from executor context
+//	lockheld     no mutex held across a blocking operation
+//	errdrop      no discarded errors on wire/conn paths
+//	allowaudit   every //lint:allow is known, reasoned, and live
+//
 // Usage:
 //
 //	lmlint [-run detrand,maporder] [packages]
@@ -30,8 +38,12 @@ import (
 	"strings"
 
 	"landmarkdht/internal/analysis"
+	"landmarkdht/internal/analysis/allowaudit"
 	"landmarkdht/internal/analysis/detrand"
+	"landmarkdht/internal/analysis/errdrop"
+	"landmarkdht/internal/analysis/execblock"
 	"landmarkdht/internal/analysis/loader"
+	"landmarkdht/internal/analysis/lockheld"
 	"landmarkdht/internal/analysis/maporder"
 	"landmarkdht/internal/analysis/nogoroutine"
 	"landmarkdht/internal/analysis/wallclock"
@@ -42,6 +54,10 @@ var all = []*analysis.Analyzer{
 	wallclock.Analyzer,
 	maporder.Analyzer,
 	nogoroutine.Analyzer,
+	execblock.Analyzer,
+	lockheld.Analyzer,
+	errdrop.Analyzer,
+	allowaudit.Analyzer,
 }
 
 func main() {

@@ -150,10 +150,10 @@ func realMain() int {
 	run := func(id string) error {
 		// Real elapsed time of the experiment process, not simulated
 		// time: the one legitimate wall-clock read in the tree.
-		start := time.Now() //lint:allow wallclock
+		start := time.Now() //lint:allow wallclock real elapsed time of the experiment process, not simulated time
 		defer func() {
 			if !*jsonOut {
-				//lint:allow wallclock
+				//lint:allow wallclock reporting the same real elapsed time measured above
 				fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 			}
 		}()

@@ -1,0 +1,46 @@
+// Fixture for the allowaudit analyzer. The fixture deliberately
+// violates other analyzers (wallclock, detrand); those diagnostics are
+// never reported here — only allowaudit runs — but the staleness check
+// re-runs the named analyzers in raw mode against this file.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+//lint:file-allow detrand fixture file rolls dice on purpose
+
+func dice() int { return rand.Int() } // the file-allow above suppresses this
+
+// A used allow with a reason: silent.
+func used() time.Time {
+	return time.Now() //lint:allow wallclock fixture site stands in for live code
+}
+
+// A used allow missing its reason: flagged, though still suppressing.
+func reasonless() time.Time { return time.Now() } //lint:allow wallclock
+// want-1 "without a reason"
+
+// An allow whose diagnostic no longer exists: stale.
+func quiet() int { return 1 } //lint:allow wallclock no clock here anymore
+// want-1 "stale //lint:allow wallclock"
+
+var answer = 42 //lint:allow sparkle dazzle the linter
+// want-1 "unknown analyzer \"sparkle\""
+
+// A context annotation on a non-declaration: dangling.
+var ticks = 0 //lint:context executor
+// want-1 "attaches to no function declaration"
+
+// want+2 "names unknown context \"warpdrive\""
+//
+//lint:context warpdrive
+func oddball() {}
+
+// A reasonless allowaudit-allow cannot vouch for itself.
+var hush = true //lint:allow allowaudit
+// want-1 "without a reason"
+
+// A reasoned allowaudit-allow: only the reason is enforced.
+var hushed = true //lint:allow allowaudit usefulness is self-referential

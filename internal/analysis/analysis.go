@@ -76,14 +76,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // the diagnostics that survive //lint:allow suppression, sorted by
 // position.
 func RunPackage(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
-	a.Run(pass)
-	out := pass.diags[:0]
-	for _, d := range pass.diags {
+	out := RawDiagnostics(a, fset, files, pkg, info)
+	kept := out[:0]
+	for _, d := range out {
 		if !suppressed(fset, files, d) {
-			out = append(out, d)
+			kept = append(kept, d)
 		}
 	}
+	return kept
+}
+
+// RawDiagnostics applies one analyzer and returns every diagnostic,
+// including the ones a //lint:allow annotation would suppress, sorted
+// by position. The allowaudit analyzer uses it to decide whether an
+// annotation still suppresses anything.
+func RawDiagnostics(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	a.Run(pass)
+	out := pass.diags
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -104,15 +114,21 @@ func suppressed(fset *token.FileSet, files []*ast.File, d Diagnostic) bool {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, fileWide, ok := parseAllow(c.Text)
+				name, _, fileWide, ok := ParseAllow(c.Text)
 				if !ok || name != d.Analyzer {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if pos.Line == d.Pos.Line && pos.Column == d.Pos.Column {
+					// The diagnostic points AT this annotation (allowaudit
+					// auditing the comment); an allow cannot vouch for
+					// itself.
 					continue
 				}
 				if fileWide {
 					return true
 				}
-				line := fset.Position(c.Pos()).Line
-				if line == d.Pos.Line || line == d.Pos.Line-1 {
+				if pos.Line == d.Pos.Line || pos.Line == d.Pos.Line-1 {
 					return true
 				}
 			}
@@ -121,12 +137,14 @@ func suppressed(fset *token.FileSet, files []*ast.File, d Diagnostic) bool {
 	return false
 }
 
-// parseAllow decodes a //lint:allow or //lint:file-allow comment,
-// returning the named analyzer and whether the allowance is file-wide.
-func parseAllow(text string) (analyzer string, fileWide bool, ok bool) {
+// ParseAllow decodes a //lint:allow or //lint:file-allow comment,
+// returning the named analyzer, the free-text reason after the name
+// ("" when missing — the allowaudit analyzer flags that), and whether
+// the allowance is file-wide.
+func ParseAllow(text string) (analyzer, reason string, fileWide bool, ok bool) {
 	body, found := strings.CutPrefix(text, "//lint:")
 	if !found {
-		return "", false, false
+		return "", "", false, false
 	}
 	switch {
 	case strings.HasPrefix(body, "allow "):
@@ -134,13 +152,13 @@ func parseAllow(text string) (analyzer string, fileWide bool, ok bool) {
 	case strings.HasPrefix(body, "file-allow "):
 		body, fileWide = strings.TrimPrefix(body, "file-allow "), true
 	default:
-		return "", false, false
+		return "", "", false, false
 	}
 	fields := strings.Fields(body)
 	if len(fields) == 0 {
-		return "", false, false
+		return "", "", false, false
 	}
-	return fields[0], fileWide, true
+	return fields[0], strings.Join(fields[1:], " "), fileWide, true
 }
 
 // liveCapable lists the packages that run the protocol over the live

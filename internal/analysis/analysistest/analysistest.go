@@ -8,13 +8,19 @@
 //	// want "regexp"
 //
 // attached to the line the diagnostic is expected on; several quoted
-// patterns may follow one want. Every diagnostic must be matched by an
+// patterns may follow one want. A comment `// want-1 "regexp"` expects
+// the diagnostic that many lines away (here: the line above) — needed
+// when the diagnostic points at a comment, since two line comments
+// cannot share a line. Every diagnostic must be matched by an
 // expectation and vice versa. //lint:allow annotations in fixtures are
 // honored, so an analyzer's escape hatch is tested by an annotated
 // violation carrying no want.
 //
 // Fixture packages live under testdata (ignored by the go tool) and may
-// import only the standard library.
+// import only the standard library — plus sibling fixture packages: a
+// subdirectory of the fixture dir is type-checked first and becomes
+// importable under its basename (`import "wire"` for a wire/ subdir),
+// which lets a fixture exercise analyzers that key on import paths.
 package analysistest
 
 import (
@@ -47,7 +53,14 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if len(files) == 0 {
 		t.Fatalf("analysistest: no Go files in %s", dir)
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	imp := &fixtureImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	if err := loadSubPackages(fset, dir, imp); err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	conf := types.Config{Importer: imp}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -90,6 +103,49 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 }
 
+// fixtureImporter resolves sibling fixture packages by basename and
+// defers everything else to the standard-library source importer.
+type fixtureImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (f *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := f.pkgs[path]; ok {
+		return p, nil
+	}
+	return f.std.Import(path)
+}
+
+// loadSubPackages type-checks each subdirectory of the fixture dir as
+// an importable package named by its basename.
+func loadSubPackages(fset *token.FileSet, dir string, imp *fixtureImporter) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		files, err := parseFixture(fset, sub)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(e.Name(), fset, files, nil)
+		if err != nil {
+			return fmt.Errorf("sub-fixture %s does not type-check: %v", sub, err)
+		}
+		imp.pkgs[e.Name()] = pkg
+	}
+	return nil
+}
+
 func parseFixture(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -115,7 +171,7 @@ type want struct {
 	re   *regexp.Regexp
 }
 
-var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+var wantRE = regexp.MustCompile(`^//\s*want([+-]\d+)?\s+(.*)$`)
 
 func collectWants(fset *token.FileSet, files []*ast.File) ([]want, error) {
 	var wants []want
@@ -127,7 +183,15 @@ func collectWants(fset *token.FileSet, files []*ast.File) ([]want, error) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, q := range splitQuoted(m[1]) {
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want offset %q: %v", pos, m[1], err)
+					}
+					line += off
+				}
+				for _, q := range splitQuoted(m[2]) {
 					pat, err := strconv.Unquote(q)
 					if err != nil {
 						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
@@ -136,7 +200,7 @@ func collectWants(fset *token.FileSet, files []*ast.File) ([]want, error) {
 					if err != nil {
 						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
 					}
-					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					wants = append(wants, want{file: pos.Filename, line: line, re: re})
 				}
 			}
 		}

@@ -1,0 +1,383 @@
+// Call-graph support for cross-function analyzers.
+//
+// The original analyzers (detrand, wallclock, maporder, nogoroutine)
+// are purely local: every diagnostic is decided by one AST node. The
+// concurrency-contract analyzers (execblock, lockheld, errdrop) need
+// one hop more — "does this function, through any chain of same-package
+// calls, reach a blocking operation?" — so this file gives a Pass a
+// per-package call graph with reachability queries.
+//
+// Scope and precision, deliberately modest:
+//
+//   - Nodes are the package's declared functions and methods
+//     (*ast.FuncDecl). Function literals belong to the declaration they
+//     appear in: their statements are attributed to the enclosing
+//     function, except literals launched with `go`, which run on a new
+//     goroutine and are severed from the executor-context walk (see
+//     below).
+//   - An edge A → B exists when A's body mentions B at all — a direct
+//     call, a method call, a method value, or a bare function reference
+//     passed as a callback. Referencing a function is treated as
+//     (potentially) calling it, which errs toward reporting; provably
+//     safe sites are annotated away with //lint:allow.
+//   - Two edge sets are kept. Callees contains every reference;
+//     ExecCallees drops references made from `go` statements (the `go`
+//     callee and the bodies of go-launched literals), because code on a
+//     fresh goroutine is by definition no longer in the caller's
+//     execution context. Context reachability (execblock) and
+//     may-block summaries (lockheld) use ExecCallees; data-flow-ish
+//     summaries where the goroutine is irrelevant (errdrop's wire-path
+//     propagation) use Callees.
+//
+// # Root annotations
+//
+// Entry points declare their execution context in the source:
+//
+//	//lint:context executor
+//	func (n *Node) process(q *queryMsg) { ... }
+//
+// The comment attaches to the function declaration directly below it
+// (or to the declaration's doc comment). Analyzers query
+// Reachable("executor") for the set of functions that can run in that
+// context. Annotations that attach to no function declaration are
+// reported by the allowaudit analyzer.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ContextExecutor is the one context name currently in use: code
+// running on a live runtime's single protocol-executor goroutine.
+const ContextExecutor = "executor"
+
+// KnownContexts lists the context names analyzers understand;
+// allowaudit flags //lint:context annotations naming anything else.
+var KnownContexts = map[string]bool{ContextExecutor: true}
+
+// FuncNode is one declared function or method in the package.
+type FuncNode struct {
+	// Obj is the function's type-checker object.
+	Obj *types.Func
+	// Decl is the syntax, including the body the edges came from.
+	Decl *ast.FuncDecl
+	// Contexts holds the //lint:context names attached to the
+	// declaration.
+	Contexts []string
+	// Callees are all same-package functions referenced from the body.
+	Callees []*FuncNode
+	// ExecCallees are the Callees minus references severed by `go`
+	// statements: the functions that may run as part of this
+	// function's own execution.
+	ExecCallees []*FuncNode
+}
+
+// Name returns the diagnostic-friendly name ("Type.Method" or "Func").
+func (n *FuncNode) Name() string {
+	if recv := n.Decl.Recv; recv != nil && len(recv.List) > 0 {
+		t := recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + n.Obj.Name()
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok {
+			if id, ok := ix.X.(*ast.Ident); ok {
+				return id.Name + "." + n.Obj.Name()
+			}
+		}
+	}
+	return n.Obj.Name()
+}
+
+// CallGraph is the per-package call graph of one Pass.
+type CallGraph struct {
+	// Funcs lists every declared function in deterministic
+	// (position) order.
+	Funcs []*FuncNode
+
+	pass  *Pass
+	byObj map[*types.Func]*FuncNode
+	// dangling are //lint:context comments that attach to no
+	// function declaration; allowaudit reports them.
+	dangling []token.Pos
+	// unknown are //lint:context comments naming a context outside
+	// KnownContexts, with the bad name.
+	unknown map[token.Pos]string
+}
+
+// NewCallGraph builds the call graph for the pass's package.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		pass:    pass,
+		byObj:   make(map[*types.Func]*FuncNode),
+		unknown: make(map[token.Pos]string),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &FuncNode{Obj: obj, Decl: fd}
+			g.byObj[obj] = n
+			g.Funcs = append(g.Funcs, n)
+		}
+	}
+	sort.Slice(g.Funcs, func(i, j int) bool { return g.Funcs[i].Decl.Pos() < g.Funcs[j].Decl.Pos() })
+	g.attachContexts()
+	for _, n := range g.Funcs {
+		g.collectEdges(n)
+	}
+	return g
+}
+
+// NodeOf returns the graph node for a function object, or nil for
+// objects declared outside the package (or function literals).
+func (g *CallGraph) NodeOf(obj types.Object) *FuncNode {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return g.byObj[fn]
+}
+
+// DanglingContexts returns the positions of //lint:context comments
+// that attach to no function declaration.
+func (g *CallGraph) DanglingContexts() []token.Pos { return g.dangling }
+
+// UnknownContexts returns the positions and names of //lint:context
+// comments naming a context no analyzer knows.
+func (g *CallGraph) UnknownContexts() map[token.Pos]string { return g.unknown }
+
+// attachContexts parses every //lint:context comment and binds it to
+// the function declaration it annotates: the declaration whose doc
+// comment contains it, or the one starting on the next line.
+func (g *CallGraph) attachContexts() {
+	type ann struct {
+		name string
+		pos  token.Pos
+		line int
+		file string
+	}
+	var anns []ann
+	for _, f := range g.pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseContext(c.Text)
+				if !ok {
+					continue
+				}
+				p := g.pass.Fset.Position(c.Pos())
+				anns = append(anns, ann{name: name, pos: c.Pos(), line: p.Line, file: p.Filename})
+			}
+		}
+	}
+	for _, a := range anns {
+		if !KnownContexts[a.name] {
+			g.unknown[a.pos] = a.name
+		}
+		attached := false
+		for _, n := range g.Funcs {
+			declPos := g.pass.Fset.Position(n.Decl.Pos())
+			if declPos.Filename != a.file {
+				continue
+			}
+			// The annotation belongs to this declaration when it sits
+			// inside the doc-comment block directly above it (any line
+			// between the doc's start and the func line) or on the
+			// declaration's own line.
+			lo := declPos.Line
+			if n.Decl.Doc != nil {
+				lo = g.pass.Fset.Position(n.Decl.Doc.Pos()).Line
+			} else {
+				lo = declPos.Line - 1
+			}
+			if a.line >= lo && a.line <= declPos.Line {
+				n.Contexts = append(n.Contexts, a.name)
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			g.dangling = append(g.dangling, a.pos)
+		}
+	}
+}
+
+// parseContext decodes a //lint:context comment, returning the context
+// name.
+func parseContext(text string) (name string, ok bool) {
+	body, found := strings.CutPrefix(text, "//lint:context ")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// collectEdges fills n.Callees and n.ExecCallees from the body.
+func (g *CallGraph) collectEdges(n *FuncNode) {
+	if n.Decl.Body == nil {
+		return
+	}
+	all := make(map[*FuncNode]bool)
+	exec := make(map[*FuncNode]bool)
+	add := func(target *FuncNode, severed bool) {
+		all[target] = true
+		if !severed {
+			exec[target] = true
+		}
+	}
+	g.walkRefs(n.Decl.Body, false, add)
+	n.Callees = sortNodes(all)
+	n.ExecCallees = sortNodes(exec)
+}
+
+// walkRefs walks a body collecting references to same-package
+// functions. severed marks subtrees that run on a different goroutine:
+// the callee expression of a `go` statement and, transitively, the
+// bodies of go-launched function literals.
+func (g *CallGraph) walkRefs(body ast.Node, severed bool, add func(*FuncNode, bool)) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			// Arguments are evaluated on the current goroutine; only
+			// the invoked function runs elsewhere.
+			for _, arg := range node.Call.Args {
+				g.walkRefs(arg, severed, add)
+			}
+			g.walkRefs(node.Call.Fun, true, add)
+			return false
+		case *ast.Ident:
+			if target := g.NodeOf(g.pass.Info.Uses[node]); target != nil {
+				add(target, severed)
+			}
+		}
+		return true
+	})
+}
+
+// InspectBody walks fn's body like ast.Inspect, skipping subtrees that
+// run on a different goroutine (go-statement callees and the bodies of
+// go-launched function literals). Statements attributed to fn by this
+// walk execute as part of fn's own call — the walk every
+// execution-context analyzer wants.
+func (g *CallGraph) InspectBody(fn *FuncNode, visit func(ast.Node) bool) {
+	if fn.Decl.Body == nil {
+		return
+	}
+	inspectSevered(fn.Decl.Body, visit)
+}
+
+// inspectSevered is InspectBody's engine, reusable on any subtree.
+func inspectSevered(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		if gs, ok := node.(*ast.GoStmt); ok {
+			if !visit(node) {
+				return false
+			}
+			for _, arg := range gs.Call.Args {
+				inspectSevered(arg, visit)
+			}
+			// The callee runs on the new goroutine: skipped.
+			return false
+		}
+		return visit(node)
+	})
+}
+
+// Reachable returns the set of functions reachable (via ExecCallees)
+// from every root annotated with the given context, roots included.
+// Cycles — recursion, mutual recursion — are handled by the visited
+// set.
+func (g *CallGraph) Reachable(context string) map[*FuncNode]bool {
+	seen := make(map[*FuncNode]bool)
+	var visit func(n *FuncNode)
+	visit = func(n *FuncNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.ExecCallees {
+			visit(c)
+		}
+	}
+	for _, n := range g.Funcs {
+		for _, ctx := range n.Contexts {
+			if ctx == context {
+				visit(n)
+			}
+		}
+	}
+	return seen
+}
+
+// PathFrom returns a shortest call path from a context root to target
+// (both included), or nil when target is unreachable. Ties break on
+// declaration order, so diagnostics are deterministic.
+func (g *CallGraph) PathFrom(context string, target *FuncNode) []*FuncNode {
+	// BFS over ExecCallees from all roots at once.
+	prev := make(map[*FuncNode]*FuncNode)
+	seen := make(map[*FuncNode]bool)
+	var frontier []*FuncNode
+	for _, n := range g.Funcs {
+		for _, ctx := range n.Contexts {
+			if ctx == context && !seen[n] {
+				seen[n] = true
+				frontier = append(frontier, n)
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*FuncNode
+		for _, n := range frontier {
+			if n == target {
+				var path []*FuncNode
+				for at := n; at != nil; at = prev[at] {
+					path = append([]*FuncNode{at}, path...)
+				}
+				return path
+			}
+			for _, c := range n.ExecCallees {
+				if !seen[c] {
+					seen[c] = true
+					prev[c] = n
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// PathString renders a call path as "a → b → c" for diagnostics.
+func PathString(path []*FuncNode) string {
+	names := make([]string, len(path))
+	for i, n := range path {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " → ")
+}
+
+func sortNodes(set map[*FuncNode]bool) []*FuncNode {
+	out := make([]*FuncNode, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}

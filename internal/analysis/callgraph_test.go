@@ -1,0 +1,246 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"landmarkdht/internal/analysis"
+)
+
+// buildPass type-checks the given sources (one file each) as one
+// package and wraps them in a Pass.
+func buildPass(t *testing.T, sources ...string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for i, src := range sources {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("file%d.go", i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check("p", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
+}
+
+func nodeNames(nodes []*analysis.FuncNode) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name()
+	}
+	return out
+}
+
+func findNode(t *testing.T, g *analysis.CallGraph, name string) *analysis.FuncNode {
+	t.Helper()
+	for _, n := range g.Funcs {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no function %q in graph (have %v)", name, nodeNames(g.Funcs))
+	return nil
+}
+
+func reachableNames(reach map[*analysis.FuncNode]bool) map[string]bool {
+	out := make(map[string]bool, len(reach))
+	for n := range reach {
+		out[n.Name()] = true
+	}
+	return out
+}
+
+func TestCallGraphCrossFileAndMethods(t *testing.T) {
+	pass := buildPass(t,
+		`package p
+
+type T struct{}
+
+//lint:context executor
+func root(t *T) {
+	t.direct()
+	cb := t.value // method value: counts as a reference
+	cb()
+	crossFile()
+}
+
+func (t *T) direct() {}
+func (t *T) value()  {}
+func unreferenced()  {}
+`,
+		`package p
+
+func crossFile() { leaf() }
+func leaf()      {}
+`)
+	g := analysis.NewCallGraph(pass)
+	reach := reachableNames(g.Reachable(analysis.ContextExecutor))
+	for _, want := range []string{"root", "T.direct", "T.value", "crossFile", "leaf"} {
+		if !reach[want] {
+			t.Errorf("expected %s reachable from executor, got %v", want, reach)
+		}
+	}
+	if reach["unreferenced"] {
+		t.Errorf("unreferenced function should not be reachable")
+	}
+}
+
+func TestCallGraphRecursion(t *testing.T) {
+	pass := buildPass(t, `package p
+
+//lint:context executor
+func root() { ping(3) }
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) { ping(n) } // mutual recursion
+
+func self(n int) { self(n) } // direct recursion, unreachable
+`)
+	g := analysis.NewCallGraph(pass)
+	reach := reachableNames(g.Reachable(analysis.ContextExecutor))
+	if !reach["ping"] || !reach["pong"] {
+		t.Errorf("mutually recursive pair should be reachable, got %v", reach)
+	}
+	if reach["self"] {
+		t.Errorf("self should be unreachable")
+	}
+	// PathFrom must terminate and find the shortest chain through the
+	// cycle.
+	path := g.PathFrom(analysis.ContextExecutor, findNode(t, g, "pong"))
+	if got := analysis.PathString(path); got != "root → ping → pong" {
+		t.Errorf("PathFrom(pong) = %q, want %q", got, "root → ping → pong")
+	}
+}
+
+func TestCallGraphGoSevering(t *testing.T) {
+	pass := buildPass(t, `package p
+
+//lint:context executor
+func root() {
+	go spawned()
+	go func() { inLiteral() }()
+	go spawned2(prep()) // argument evaluated on the caller's goroutine
+	stillHere()
+}
+
+func spawned()       {}
+func spawned2(x int) {}
+func inLiteral()     {}
+func prep() int      { return 0 }
+func stillHere()     {}
+`)
+	g := analysis.NewCallGraph(pass)
+	root := findNode(t, g, "root")
+	all := make(map[string]bool)
+	for _, c := range root.Callees {
+		all[c.Name()] = true
+	}
+	for _, want := range []string{"spawned", "spawned2", "inLiteral", "prep", "stillHere"} {
+		if !all[want] {
+			t.Errorf("Callees should include %s (all references), got %v", want, nodeNames(root.Callees))
+		}
+	}
+	reach := reachableNames(g.Reachable(analysis.ContextExecutor))
+	for _, severed := range []string{"spawned", "spawned2", "inLiteral"} {
+		if reach[severed] {
+			t.Errorf("%s runs on a fresh goroutine and must not be executor-reachable, got %v", severed, reach)
+		}
+	}
+	for _, want := range []string{"prep", "stillHere"} {
+		if !reach[want] {
+			t.Errorf("%s runs on the executor and must be reachable, got %v", want, reach)
+		}
+	}
+}
+
+func TestCallGraphContextAnnotations(t *testing.T) {
+	pass := buildPass(t, `package p
+
+// docRoot has the annotation inside a multi-line doc comment.
+//
+//lint:context executor
+func docRoot() {}
+
+//lint:context warpdrive
+func unknownCtx() {}
+
+var x = 1 //lint:context executor
+
+func plain() {}
+`)
+	g := analysis.NewCallGraph(pass)
+	if got := findNode(t, g, "docRoot").Contexts; len(got) != 1 || got[0] != "executor" {
+		t.Errorf("docRoot contexts = %v, want [executor]", got)
+	}
+	if got := findNode(t, g, "plain").Contexts; len(got) != 0 {
+		t.Errorf("plain contexts = %v, want none", got)
+	}
+	if len(g.DanglingContexts()) != 1 {
+		t.Errorf("expected 1 dangling //lint:context, got %d", len(g.DanglingContexts()))
+	}
+	unknown := g.UnknownContexts()
+	if len(unknown) != 1 {
+		t.Fatalf("expected 1 unknown context, got %v", unknown)
+	}
+	for _, name := range unknown {
+		if name != "warpdrive" {
+			t.Errorf("unknown context name = %q, want warpdrive", name)
+		}
+	}
+}
+
+func TestCallGraphInspectBodySeversGoroutines(t *testing.T) {
+	pass := buildPass(t, `package p
+
+func f(ch chan int) {
+	ch <- 1 // executes as part of f
+	go func() {
+		ch <- 2 // executes on a fresh goroutine: severed
+	}()
+	go g(<-ch) // the receive is evaluated by f itself
+}
+
+func g(int) {}
+`)
+	g := analysis.NewCallGraph(pass)
+	f := findNode(t, g, "f")
+	sends, recvs := 0, 0
+	g.InspectBody(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sends++
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				recvs++
+			}
+		}
+		return true
+	})
+	if sends != 1 {
+		t.Errorf("InspectBody saw %d sends, want 1 (the go-literal body is severed)", sends)
+	}
+	if recvs != 1 {
+		t.Errorf("InspectBody saw %d receives, want 1 (go-call arguments run on f)", recvs)
+	}
+}

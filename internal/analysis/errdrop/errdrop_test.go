@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"landmarkdht/internal/analysis/analysistest"
+	"landmarkdht/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "testdata/src/conn")
+}

@@ -1,0 +1,86 @@
+// Fixture for the errdrop analyzer: discarded error returns on wire
+// and connection paths are diagnostics; checked errors, non-wire
+// calls, and annotated best-effort drops are not.
+package conn
+
+import (
+	"net"
+
+	"wire"
+)
+
+func bare(c net.Conn, b []byte) {
+	c.Write(b)             // want "dropped error from net.Conn.Write .return value discarded."
+	wire.AppendFrame(c, b) // want "dropped error from wire.AppendFrame"
+}
+
+func blank(c net.Conn) {
+	_ = c.Close() // want "dropped error from net.Conn.Close .assigned to _."
+}
+
+func blankDial() {
+	c, _ := net.Dial("tcp", "localhost:0") // want "dropped error from net.Dial .assigned to _."
+	_ = c
+}
+
+func inGo(c net.Conn) {
+	go c.Close() // want "dropped error from net.Conn.Close .error lost in go statement."
+}
+
+func inDefer(c net.Conn) {
+	defer c.Close() // want "dropped error from net.Conn.Close .error lost in deferred call."
+}
+
+// writeFrame performs wire I/O and hands the error back, so its
+// callers are on the wire path too.
+func writeFrame(c net.Conn, b []byte) error {
+	return wire.AppendFrame(c, b)
+}
+
+// sendLoop wraps a wrapper: propagation is transitive.
+func sendLoop(c net.Conn, frames [][]byte) error {
+	for _, f := range frames {
+		if err := writeFrame(c, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func viaWrapper(c net.Conn, b []byte) {
+	writeFrame(c, b) // want "dropped error from writeFrame .wire/conn path."
+}
+
+func viaWrapperOfWrapper(c net.Conn, frames [][]byte) {
+	sendLoop(c, frames) // want "dropped error from sendLoop .wire/conn path."
+}
+
+type peer struct{ c net.Conn }
+
+func (p *peer) send(b []byte) error { return writeFrame(p.c, b) }
+
+func methodWrapper(p *peer, b []byte) {
+	p.send(b) // want "dropped error from peer.send .wire/conn path."
+}
+
+// checked handles every wire error: silent.
+func checked(c net.Conn, b []byte) error {
+	if err := writeFrame(c, b); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// swallow drops internally — flagged at the drop site — and returns no
+// error, so its callers have nothing to check.
+func swallow(c net.Conn, b []byte) {
+	wire.AppendFrame(c, b) // want "dropped error from wire.AppendFrame"
+}
+
+func viaSwallow(c net.Conn, b []byte) {
+	swallow(c, b) // not a wrapper: no error reaches this caller
+}
+
+func allowed(c net.Conn) {
+	_ = c.Close() //lint:allow errdrop best-effort teardown of an abandoned conn
+}

@@ -1,0 +1,12 @@
+package execblock_test
+
+import (
+	"testing"
+
+	"landmarkdht/internal/analysis/analysistest"
+	"landmarkdht/internal/analysis/execblock"
+)
+
+func TestExecblock(t *testing.T) {
+	analysistest.Run(t, execblock.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,480 @@
+// Package lockheld flags mutexes held across blocking operations. The
+// live runtimes follow one locking discipline: a sync.Mutex protects a
+// bounded critical section — a few loads and stores — and is released
+// before anything that can park the goroutine (channel operations,
+// network I/O, sleeps, acquiring another lock, or calling a function
+// that does any of those). A lock held across a blocking call turns
+// every other user of that lock into a hostage of the slow operation:
+// on the protocol executor that is a stalled node, and a lock held
+// while acquiring a second lock is the raw material of lock-order
+// deadlocks.
+//
+// The analyzer tracks, per function, which mutex expressions are held
+// at each statement (Lock/RLock add, Unlock/RUnlock remove, `defer
+// Unlock` holds to the end of the function) and reports any blocking
+// operation — per analysis.BlockingOp — or any call to a same-package
+// function that may transitively block (call-graph summary over
+// analysis.NewCallGraph) while the held set is non-empty.
+//
+// Branches are merged conservatively: a lock held on any path into a
+// statement counts as held (paths that end in return/branch do not
+// leak their state past the join). sync.Cond.Wait is exempt — it
+// atomically releases the lock it waits under, and requiring the lock
+// held is its contract. Intentional exceptions (a write mutex whose
+// entire point is to serialize connection writes) are annotated
+// //lint:allow lockheld <reason>.
+package lockheld
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"landmarkdht/internal/analysis"
+)
+
+// Analyzer flags blocking operations performed while a mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "forbid holding a sync.Mutex/RWMutex across blocking operations (channel ops, " +
+		"net I/O, sleeps, nested Lock, calls that transitively block); annotate intentional sites with //lint:allow lockheld <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	g := analysis.NewCallGraph(pass)
+	blocks := mayBlock(pass, g)
+	for _, fn := range g.Funcs {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		w := &walker{pass: pass, g: g, blocks: blocks}
+		w.block(fn.Decl.Body.List, lockSet{})
+	}
+}
+
+// mayBlock summarizes, for every function in the package, whether
+// calling it can block, and why. A function blocks when its own body
+// (minus go-severed subtrees) contains a blocking operation, or when
+// it calls — on its own goroutine — a function that does. The
+// fixed-point iteration converges on cycles (recursion) because the
+// summary only ever flips from "" to a reason.
+func mayBlock(pass *analysis.Pass, g *analysis.CallGraph) map[*analysis.FuncNode]string {
+	out := make(map[*analysis.FuncNode]string, len(g.Funcs))
+	for _, fn := range g.Funcs {
+		skip := make(map[ast.Node]bool)
+		g.InspectBody(fn, func(n ast.Node) bool {
+			if out[fn] != "" {
+				return false
+			}
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, op := range analysis.CommOps(sel) {
+					skip[op] = true
+				}
+			}
+			if skip[n] {
+				return true
+			}
+			if desc, ok := analysis.BlockingOp(pass.Info, n); ok {
+				out[fn] = desc
+				return false
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs {
+			if out[fn] != "" {
+				continue
+			}
+			for _, callee := range fn.ExecCallees {
+				if why := out[callee]; why != "" {
+					out[fn] = "calls " + callee.Name() + ", which may block (" + why + ")"
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockSet maps the printed source form of a mutex expression ("l.mu",
+// "n.linkMu") to the position where it was locked.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s lockSet) union(o lockSet) lockSet {
+	for k, v := range o {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+	return s
+}
+
+// names returns the held lock names, sorted for deterministic
+// diagnostics.
+func (s lockSet) names() string {
+	if len(s) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	if len(keys) > 1 {
+		// Insertion sort: the set is tiny.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+	}
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += ", " + k
+	}
+	return out
+}
+
+// walker tracks held locks through one function body.
+type walker struct {
+	pass   *analysis.Pass
+	g      *analysis.CallGraph
+	blocks map[*analysis.FuncNode]string
+}
+
+// block walks a statement list with the given entry lock set and
+// returns the exit set plus whether the list always terminates the
+// enclosing flow (return / branch).
+func (w *walker) block(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, s := range stmts {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+// stmt processes one statement.
+func (w *walker) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.expr(s.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.expr(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.expr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` is the only defer that changes the held
+		// set — and it does NOT release here: the lock stays held for
+		// the rest of the function, which is exactly what the walker
+		// should see. Other deferred calls run at return, when the
+		// held set at that point applies; they are not re-checked.
+		return held, false
+	case *ast.GoStmt:
+		// Launching the goroutine never blocks; its arguments are
+		// evaluated here.
+		for _, a := range s.Call.Args {
+			held = w.expr(a, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.expr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		held = w.expr(s.Cond, held)
+		thenHeld, thenTerm := w.block(s.Body.List, held.clone())
+		elseHeld, elseTerm := held.clone(), false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseHeld, elseTerm = w.block(e.List, held.clone())
+		case *ast.IfStmt:
+			elseHeld, elseTerm = w.stmt(e, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return thenHeld.union(elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.expr(s.Cond, held)
+		}
+		bodyHeld, _ := w.block(s.Body.List, held.clone())
+		return held.union(bodyHeld), false
+	case *ast.RangeStmt:
+		if desc, ok := analysis.BlockingOp(w.pass.Info, s); ok {
+			w.report(s.Pos(), desc, held)
+		}
+		held = w.expr(s.X, held)
+		bodyHeld, _ := w.block(s.Body.List, held.clone())
+		return held.union(bodyHeld), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.expr(s.Tag, held)
+		}
+		return w.clauses(s.Body.List, held), false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		return w.clauses(s.Body.List, held), false
+	case *ast.SelectStmt:
+		if desc, ok := analysis.BlockingOp(w.pass.Info, s); ok {
+			w.report(s.Pos(), desc, held)
+		}
+		return w.clauses(s.Body.List, held), false
+	case *ast.BlockStmt:
+		return w.block(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.SendStmt:
+		w.report(s.Pos(), "channel send", held)
+		held = w.expr(s.Chan, held)
+		return w.expr(s.Value, held), false
+	case *ast.IncDecStmt:
+		return w.expr(s.X, held), false
+	}
+	return held, false
+}
+
+// clauses walks case/comm clause bodies, merging the exits of every
+// non-terminating clause with the entry state (a switch may match no
+// case; a select clause may never fire).
+func (w *walker) clauses(list []ast.Stmt, held lockSet) lockSet {
+	out := held.clone()
+	for _, c := range list {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				held = w.expr(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			// Comm ops belong to the enclosing select (already judged as
+			// a whole); only their operand sub-expressions are walked.
+			held = w.comm(c.Comm, held)
+			body = c.Body
+		}
+		end, term := w.block(body, held.clone())
+		if !term {
+			out = out.union(end)
+		}
+	}
+	return out
+}
+
+// comm walks the operand sub-expressions of a select comm statement,
+// skipping the top-level send/receive itself.
+func (w *walker) comm(s ast.Stmt, held lockSet) lockSet {
+	operand := func(e ast.Expr) lockSet {
+		if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			return w.expr(ue.X, held)
+		}
+		return w.expr(e, held)
+	}
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		held = w.expr(s.Chan, held)
+		held = w.expr(s.Value, held)
+	case *ast.ExprStmt:
+		held = operand(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			held = operand(r)
+		}
+		for _, l := range s.Lhs {
+			held = w.expr(l, held)
+		}
+	}
+	return held
+}
+
+// expr scans one expression in evaluation order for lock transitions
+// and blocking operations, returning the updated held set.
+func (w *walker) expr(e ast.Expr, held lockSet) lockSet {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs when (and if) the value is called;
+			// its lock discipline is its own. The closure is analyzed
+			// for blocking only through the functions it is handed to.
+			return false
+		case *ast.CallExpr:
+			if kind, lock := lockTransition(w.pass.Info, n); kind != 0 {
+				switch kind {
+				case lockAcquire:
+					// Acquiring while already holding: flagged by the
+					// generic blocking check below only if something is
+					// held — then record the new lock.
+					if len(held) > 0 {
+						if desc, ok := analysis.BlockingOp(w.pass.Info, n); ok {
+							w.report(n.Pos(), desc+" on "+lock, held)
+						}
+					}
+					held[lock] = n.Pos()
+				case lockRelease:
+					delete(held, lock)
+				}
+				return true
+			}
+			if condWait(w.pass.Info, n) {
+				// Cond.Wait atomically releases the lock it waits
+				// under; holding it is the API contract, not a bug.
+				return true
+			}
+			if len(held) > 0 {
+				if desc, ok := analysis.BlockingOp(w.pass.Info, n); ok {
+					w.report(n.Pos(), desc, held)
+				} else if callee := calleeNode(w.pass.Info, w.g, n); callee != nil {
+					if why := w.blocks[callee]; why != "" {
+						w.report(n.Pos(), "call to "+callee.Name()+", which may block ("+why+")", held)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.report(n.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func (w *walker) report(pos token.Pos, desc string, held lockSet) {
+	if len(held) == 0 {
+		return
+	}
+	w.pass.Reportf(pos,
+		"%s while holding %s; release the lock first or annotate //lint:allow lockheld <reason>",
+		desc, held.names())
+}
+
+const (
+	lockAcquire = 1
+	lockRelease = 2
+)
+
+// lockTransition classifies mu.Lock/RLock/Unlock/RUnlock calls on
+// sync.Mutex/RWMutex, returning the transition kind and the printed
+// receiver expression identifying the lock.
+func lockTransition(info *types.Info, call *ast.CallExpr) (kind int, lock string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, ""
+	}
+	recv := recvName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return 0, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return lockAcquire, exprString(sel.X)
+	case "Unlock", "RUnlock":
+		return lockRelease, exprString(sel.X)
+	}
+	return 0, ""
+}
+
+// condWait reports a sync.Cond.Wait call.
+func condWait(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		fn.Name() == "Wait" && recvName(fn) == "Cond"
+}
+
+// calleeNode resolves a call to its same-package call-graph node.
+func calleeNode(info *types.Info, g *analysis.CallGraph, call *ast.CallExpr) *analysis.FuncNode {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return g.NodeOf(info.Uses[fun])
+	case *ast.SelectorExpr:
+		return g.NodeOf(info.Uses[fun.Sel])
+	}
+	return nil
+}
+
+// recvName returns the receiver type name of a method.
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// exprString renders the receiver expression of a lock call ("l.mu").
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"landmarkdht/internal/analysis/analysistest"
+	"landmarkdht/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "testdata/src/a")
+}

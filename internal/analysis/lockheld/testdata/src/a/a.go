@@ -1,0 +1,124 @@
+// Fixture for the lockheld analyzer: blocking operations while a
+// sync.Mutex/RWMutex is held are diagnostics; release-before-block,
+// Cond.Wait, goroutine launches, and polling selects are not.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+}
+
+func (s *S) direct() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock() // holds to the end of the function
+	s.ch <- 1           // want "channel send while holding s.mu"
+}
+
+func (s *S) released() {
+	s.mu.Lock()
+	x := len(s.ch)
+	_ = x
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // lock released: fine
+}
+
+func (s *S) branchesReleased(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // released on every live path: fine
+}
+
+func (s *S) heldOnOnePath(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+}
+
+func (s *S) nested(t *S) {
+	s.mu.Lock()
+	t.mu.Lock() // want "sync.Mutex.Lock on t.mu while holding s.mu"
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *S) transitive() {
+	s.mu.Lock()
+	sleepy() // want "call to sleepy, which may block"
+	s.mu.Unlock()
+}
+
+func spawner() {
+	go sleepy()
+}
+
+func (s *S) spawnsIndirect() {
+	s.mu.Lock()
+	spawner() // launching a goroutine does not block this one
+	s.mu.Unlock()
+}
+
+func (s *S) waits() {
+	s.mu.Lock()
+	for len(s.ch) == 0 {
+		s.cond.Wait() // Cond.Wait releases the lock it waits under
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) poll() {
+	s.mu.Lock()
+	select { // a select with default polls; fine under a lock
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) blockingSelect() {
+	s.mu.Lock()
+	select { // want "blocking select while holding s.mu"
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) allowed() {
+	s.mu.Lock()
+	s.ch <- 2 //lint:allow lockheld serializing sends is this mutex's purpose
+	s.mu.Unlock()
+}
+
+type G struct {
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (g *G) read() {
+	g.rw.RLock()
+	<-g.ch // want "channel receive while holding g.rw"
+	g.rw.RUnlock()
+}

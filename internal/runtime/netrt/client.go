@@ -40,30 +40,30 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		return nil, err
 	}
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		conn.Close()
+		closeConn(conn)
 		return nil, err
 	}
 	if err := writeFrame(conn, 1, kindClientHello, nil); err != nil {
-		conn.Close()
+		closeConn(conn)
 		return nil, err
 	}
 	_, payload, _, err := wire.ReadFrame(conn, nil)
 	if err != nil {
-		conn.Close()
+		closeConn(conn)
 		return nil, err
 	}
 	kind, body, err := splitMsg(payload)
 	if err != nil || kind != kindClientWelcome {
-		conn.Close()
+		closeConn(conn)
 		return nil, fmt.Errorf("netrt: unexpected client handshake reply")
 	}
 	var w clientWelcomeMsg
 	if err := decodeBody(body, &w); err != nil {
-		conn.Close()
+		closeConn(conn)
 		return nil, err
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		conn.Close()
+		closeConn(conn)
 		return nil, err
 	}
 	c := &Client{conn: conn, node: w.ID, addr: w.Addr, nextID: 1, pending: make(map[uint64]chan []byte)}
@@ -82,7 +82,7 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.mu.Lock()
 			c.closed = true
-			for id, ch := range c.pending { //lint:allow maporder waking waiters is order-independent
+			for id, ch := range c.pending {
 				close(ch)
 				delete(c.pending, id)
 			}
@@ -129,6 +129,7 @@ func (c *Client) roundTrip(kind byte, msg any, timeout time.Duration) (byte, []b
 		return 0, nil, err
 	}
 	c.wmu.Lock()
+	//lint:allow lockheld wmu exists to serialize frame writes; waiting behind a peer's write is its contract
 	_, err = c.conn.Write(frame)
 	c.wmu.Unlock()
 	if err != nil {
@@ -193,5 +194,7 @@ func (c *Client) Info(timeout time.Duration) (Info, error) {
 	return Info{ID: in.ID, Addr: in.Addr, Members: in.Members, Store: in.Store}, nil
 }
 
-// Close tears the client connection down.
-func (c *Client) Close() { c.conn.Close() }
+// Close tears the client connection down, reporting the connection's
+// teardown error: a caller that cares (lmnode's drain path) can log it,
+// everyone else annotates the drop.
+func (c *Client) Close() error { return c.conn.Close() }

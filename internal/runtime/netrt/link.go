@@ -103,7 +103,7 @@ func (l *link) enqueue(payload []byte) {
 	if max <= 0 {
 		max = defaultMaxQueue
 	}
-	l.mu.Lock()
+	l.mu.Lock() //lint:allow execblock bounded critical section: the queue mutex; holders only append/pop and signal (lockheld-checked)
 	if l.closed {
 		l.mu.Unlock()
 		return
@@ -204,24 +204,29 @@ func (l *link) attach(conn net.Conn, peer uint64, dialer uint64) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		conn.Close()
+		closeConn(conn)
 		return
 	}
+	var old net.Conn
 	if l.conn != nil {
 		if dialer >= l.connDialer {
 			l.mu.Unlock()
-			conn.Close()
+			closeConn(conn)
 			return
 		}
-		old := l.conn
+		old = l.conn
 		l.conn = nil
-		old.Close()
 	}
 	l.conn = conn
 	l.peer = peer
 	l.connDialer = dialer
 	l.cond.Signal()
 	l.mu.Unlock()
+	if old != nil {
+		// Closed outside l.mu: Close can block on teardown, and the
+		// loser's reader dies into detach, which needs the same lock.
+		closeConn(old)
+	}
 	go l.readLoop(conn, peer)
 }
 
@@ -234,7 +239,7 @@ func (l *link) detach(conn net.Conn) {
 		l.cond.Signal()
 	}
 	l.mu.Unlock()
-	conn.Close()
+	closeConn(conn)
 }
 
 // readLoop consumes frames off one connection until it dies or a
@@ -302,7 +307,7 @@ func (l *link) close() {
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	if conn != nil {
-		conn.Close()
+		closeConn(conn)
 	}
 }
 

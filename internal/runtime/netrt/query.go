@@ -40,6 +40,8 @@ type QueryOutcome struct {
 // startQuery begins a query at this node (executor only). done fires
 // exactly once, on the executor, when all credit is home or the
 // deadline expires.
+//
+//lint:context executor
 func (n *Node) startQuery(qobj []byte, r float64, done func(QueryOutcome, error)) {
 	reg, err := n.data.QueryRegion(qobj, r)
 	if err != nil {
@@ -86,6 +88,8 @@ func (n *Node) Query(qobj []byte, r float64, timeout time.Duration) (QueryOutcom
 // instead of Chord hops the region goes straight to the successor of
 // its key span; the surrogate-refinement decomposition (Algorithm 5)
 // is unchanged from the in-process runtimes.
+//
+//lint:context executor
 func (n *Node) process(q *queryMsg) {
 	if q.TTL <= 0 {
 		// Forwarding did not converge (membership views disagree under
@@ -190,6 +194,8 @@ func (n *Node) returnDrop(q *queryMsg, credit uint64, reason string) {
 // gone from the table — and frames addressed to a previous process
 // incarnation (epoch mismatch after a restart reset the qid counter)
 // are discarded before they can corrupt an unrelated query.
+//
+//lint:context executor
 func (n *Node) onReturn(epoch, qid, credit uint64, ents []ResultEntry, isDrop bool) {
 	if epoch != n.epoch {
 		return
@@ -216,6 +222,8 @@ func (n *Node) onReturn(epoch, qid, credit uint64, ents []ResultEntry, isDrop bo
 
 // expire finishes a query whose deadline fired before all credit came
 // home: the results so far are a correct subset, reported incomplete.
+//
+//lint:context executor
 func (n *Node) expire(qid uint64) {
 	oq := n.queries[qid]
 	if oq == nil {

@@ -14,17 +14,17 @@ import (
 func (n *Node) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	id, payload, _, err := wire.ReadFrame(conn, nil)
 	if err != nil {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	kind, body, err := splitMsg(payload)
 	if err != nil {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	switch kind {
@@ -32,16 +32,16 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.acceptPeer(conn, body)
 	case kindClientHello:
 		if writeFrame(conn, id, kindClientWelcome, clientWelcomeMsg{ID: n.id, Addr: n.addr}) != nil {
-			conn.Close()
+			closeConn(conn)
 			return
 		}
 		if conn.SetDeadline(time.Time{}) != nil {
-			conn.Close()
+			closeConn(conn)
 			return
 		}
 		n.serveClient(conn)
 	default:
-		conn.Close()
+		closeConn(conn)
 	}
 }
 
@@ -50,24 +50,24 @@ func (n *Node) serveConn(conn net.Conn) {
 func (n *Node) acceptPeer(conn net.Conn, body []byte) {
 	var h helloMsg
 	if decodeBody(body, &h) != nil || h.Addr == "" {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	if h.Sig != n.sig {
 		// Refuse explicitly so the dialer logs the real cause instead
 		// of a silent disconnect, then drop: a node built from a
 		// different seed can never agree on ownership.
-		_ = writeFrame(conn, 1, kindReject, nil)
+		_ = writeFrame(conn, 1, kindReject, nil) //lint:allow errdrop courtesy reject on a connection being dropped; failure changes nothing
 		n.logf("rejected %s: corpus signature mismatch", h.Addr)
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	if writeFrame(conn, 1, kindWelcome, helloMsg{From: n.id, Addr: n.addr, Sig: n.sig, Members: n.snapshot()}) != nil {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	if conn.SetDeadline(time.Time{}) != nil {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	members := h.Members
@@ -78,10 +78,18 @@ func (n *Node) acceptPeer(conn net.Conn, body []byte) {
 	n.logf("link up from %s (node %016x, accepted)", h.Addr, h.From)
 	l := n.ensureLink(h.Addr)
 	if l == nil {
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	l.attach(conn, h.From, h.From)
+}
+
+// closeConn is best-effort teardown of a connection that is already
+// being abandoned: the interesting error (handshake failure, hostile
+// stream, write timeout) has already been observed upstream, and a
+// Close error on a dying connection carries no further signal.
+func closeConn(conn net.Conn) {
+	_ = conn.Close() //lint:allow errdrop best-effort teardown of an abandoned conn
 }
 
 // writeFrame encodes and writes one framed message.
@@ -107,7 +115,7 @@ func (n *Node) serveClient(conn net.Conn) {
 	n.clientMu.Lock()
 	if n.clients == nil {
 		n.clientMu.Unlock()
-		conn.Close()
+		closeConn(conn)
 		return
 	}
 	n.clients[conn] = struct{}{}
@@ -120,7 +128,7 @@ func (n *Node) serveClient(conn net.Conn) {
 			delete(n.clients, conn)
 		}
 		n.clientMu.Unlock()
-		conn.Close()
+		closeConn(conn)
 	}()
 	out := make(chan []byte, 64)
 	go func() {
@@ -128,7 +136,7 @@ func (n *Node) serveClient(conn net.Conn) {
 			select {
 			case frame := <-out:
 				if _, err := conn.Write(frame); err != nil {
-					conn.Close()
+					closeConn(conn)
 					return
 				}
 			case <-done:
@@ -148,7 +156,7 @@ func (n *Node) serveClient(conn net.Conn) {
 		select {
 		case out <- frame:
 		default:
-			conn.Close() // client too slow to read its own replies
+			closeConn(conn) // client too slow to read its own replies
 		}
 	}
 	var buf []byte
