@@ -9,8 +9,8 @@
 //
 //	lmbench -out BENCH.json                      # run everything, write JSON
 //	lmbench -bench 'Schedule|Edit' -pkgs ./internal/...
-//	lmbench -out new.json -baseline BENCH_pr3.json -threshold 0.2
-//	lmbench -diff BENCH_pr3.json new.json        # compare two reports
+//	lmbench -out new.json -baseline BENCH_pr8.json -threshold 0.2
+//	lmbench -diff BENCH_pr8.json new.json        # compare two reports
 //
 // Only ns/op, B/op and allocs/op are regression-gated; custom metrics
 // are carried in the report and printed in diffs but do not fail the
@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one parsed benchmark result.
@@ -59,6 +60,23 @@ func realMain() int {
 		gate      = flag.String("gate", "", "comma-separated metrics to gate (default ns/op,B/op,allocs/op); "+
 			"e.g. -gate allocs/op ignores timing noise in CI")
 		diffMode = flag.Bool("diff", false, "compare two JSON reports: lmbench -diff old.json new.json")
+
+		qpsMode     = flag.Bool("qps", false, "run the open-loop sustained-qps benchmark instead of go test -bench")
+		qpsOffered  = flag.Float64("qps-offered", 200, "offered load in queries per second")
+		qpsDuration = flag.Duration("qps-duration", 4*time.Second, "measured window per variant")
+		qpsWarmup   = flag.Duration("qps-warmup", time.Second, "unmeasured lead-in per variant")
+		qpsNodes    = flag.Int("qps-nodes", 48, "overlay size")
+		qpsObjects  = flag.Int("qps-objects", 6000, "synthetic corpus size")
+		qpsDim      = flag.Int("qps-dim", 8, "corpus dimensionality")
+		qpsSeed     = flag.Int64("qps-seed", 1, "workload seed")
+		qpsRadius   = flag.Float64("qps-radius", 0.25, "range-query radius")
+		qpsExecs    = flag.Int("qps-executors", 0, "executor count for sharded variants (0 = GOMAXPROCS)")
+		qpsBatchDly = flag.Duration("qps-batch-delay", 2*time.Millisecond, "destination-batch flush deadline for batched variants")
+		qpsMaxAct   = flag.Int("qps-max-active", 0, "admission cap on concurrent queries (0 = unlimited)")
+		qpsMaxInbox = flag.Int("qps-max-inbox", 0, "delivery-queue bound (0 = runtime default, negative = unbounded)")
+		qpsVars     = flag.String("qps-variants", "plain,batched,sharded,batched-sharded", "comma-separated variants to run")
+		qpsComplete = flag.Bool("qps-require-complete", false,
+			"exit nonzero unless every measured query is Complete with zero sheds/rejections (CI smoke contract)")
 	)
 	flag.Parse()
 	if *gate != "" {
@@ -95,7 +113,29 @@ func realMain() int {
 		return 0
 	}
 
-	rep, err := runBenchmarks(*benchRe, *benchtime, *count, strings.Split(*pkgs, ","))
+	var rep *Report
+	var err error
+	qpsFailed := false
+	if *qpsMode {
+		rep, qpsFailed, err = runQPS(qpsOptions{
+			Offered:         *qpsOffered,
+			Duration:        *qpsDuration,
+			Warmup:          *qpsWarmup,
+			Nodes:           *qpsNodes,
+			Objects:         *qpsObjects,
+			Dim:             *qpsDim,
+			Seed:            *qpsSeed,
+			Radius:          *qpsRadius,
+			Executors:       *qpsExecs,
+			BatchDly:        *qpsBatchDly,
+			MaxActive:       *qpsMaxAct,
+			MaxInbox:        *qpsMaxInbox,
+			Variants:        strings.Split(*qpsVars, ","),
+			RequireComplete: *qpsComplete,
+		})
+	} else {
+		rep, err = runBenchmarks(*benchRe, *benchtime, *count, strings.Split(*pkgs, ","))
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmbench: %v\n", err)
 		return 2
@@ -113,6 +153,9 @@ func realMain() int {
 		if compare(os.Stderr, old, rep, *threshold) {
 			return 1
 		}
+	}
+	if qpsFailed {
+		return 1
 	}
 	return 0
 }

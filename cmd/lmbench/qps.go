@@ -1,0 +1,314 @@
+//lint:file-allow nogoroutine open-loop load generation: client goroutines drive a live platform, not a sim engine
+//lint:file-allow wallclock the sustained-qps benchmark measures real latency under real offered load
+
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	lm "landmarkdht"
+)
+
+// qpsOptions parameterizes the open-loop sustained-throughput
+// benchmark: queries are issued at a fixed offered rate regardless of
+// how fast they complete (open loop, so saturation shows up as latency
+// and shed counters, not as a slowed-down generator).
+type qpsOptions struct {
+	Offered   float64       // fixed offered load, queries per second
+	Duration  time.Duration // measurement window
+	Warmup    time.Duration // unmeasured lead-in at the same rate
+	Nodes     int
+	Objects   int
+	Dim       int
+	Seed      int64
+	Radius    float64
+	Executors int           // executor count for sharded variants (0 = GOMAXPROCS)
+	BatchDly  time.Duration // flush deadline for batched variants
+	MaxActive int           // admission cap (0 = unlimited)
+	MaxInbox  int           // delivery-queue bound (0 = livert default)
+	Variants  []string
+	// RequireComplete fails the run unless every measured query came
+	// back Complete and nothing was shed or rejected — the CI smoke
+	// contract at an offered load the machine can sustain.
+	RequireComplete bool
+}
+
+// qpsVariant describes one configuration leg of the benchmark matrix.
+type qpsVariant struct {
+	name      string
+	batch     bool
+	executors bool
+}
+
+var qpsVariants = []qpsVariant{
+	{name: "plain"},
+	{name: "batched", batch: true},
+	{name: "sharded", executors: true},
+	{name: "batched-sharded", batch: true, executors: true},
+}
+
+// runQPS runs the requested variants and returns their report plus
+// whether the RequireComplete contract failed.
+func runQPS(o qpsOptions) (*Report, bool, error) {
+	rep := &Report{Bench: "SustainedQPS", Benchtime: o.Duration.String()}
+	failed := false
+	for _, v := range qpsVariants {
+		if !qpsVariantWanted(o.Variants, v.name) {
+			continue
+		}
+		b, ok, err := runQPSVariant(o, v)
+		if err != nil {
+			return nil, false, fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		if !ok {
+			failed = true
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, false, fmt.Errorf("no variants selected from %v", o.Variants)
+	}
+	return rep, failed, nil
+}
+
+func qpsVariantWanted(wanted []string, name string) bool {
+	for _, w := range wanted {
+		if strings.TrimSpace(w) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runQPSVariant boots one live platform, offers o.Offered qps for the
+// window, and reduces the samples to the reported metrics. The ok
+// return is the RequireComplete verdict (always true when the flag is
+// off).
+func runQPSVariant(o qpsOptions, v qpsVariant) (Benchmark, bool, error) {
+	opts := lm.Options{
+		Nodes:            o.Nodes,
+		Seed:             o.Seed,
+		WireCodec:        true,
+		Live:             true,
+		MaxActiveQueries: o.MaxActive,
+		MaxInbox:         o.MaxInbox,
+	}
+	if v.batch {
+		opts.Batch = lm.BatchOptions{MaxDelay: o.BatchDly}
+	}
+	execs := 0
+	if v.executors {
+		execs = o.Executors
+		if execs <= 0 {
+			execs = runtime.GOMAXPROCS(0)
+		}
+		opts.Executors = execs
+	}
+	p, err := lm.New(opts)
+	if err != nil {
+		return Benchmark{}, false, err
+	}
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(o.Seed + 7))
+	data := make([]lm.Vector, o.Objects)
+	for i := range data {
+		vec := make(lm.Vector, o.Dim)
+		for j := range vec {
+			vec[j] = rng.Float64()
+		}
+		data[i] = vec
+	}
+	space := lm.EuclideanSpace("qps", o.Dim, 0, 1)
+	ix, err := lm.AddIndex(p, space, data, lm.DenseMean, lm.IndexOptions{})
+	if err != nil {
+		return Benchmark{}, false, err
+	}
+
+	// A fixed pool of query points near real objects, with brute-force
+	// ground truth so every complete answer is recall-checked: batching
+	// and sharding must win throughput at equal recall, not by dropping
+	// matches.
+	const nQueries = 64
+	queries := make([]lm.Vector, nQueries)
+	want := make([]int, nQueries)
+	for i := range queries {
+		q := append(lm.Vector(nil), data[rng.Intn(len(data))]...)
+		for j := range q {
+			q[j] += (rng.Float64() - 0.5) * 0.05
+		}
+		queries[i] = q
+		for _, d := range data {
+			if l2(q, d) <= o.Radius {
+				want[i]++
+			}
+		}
+	}
+
+	type sample struct {
+		lat      time.Duration
+		complete bool
+	}
+	var (
+		mu        sync.Mutex
+		samples   []sample
+		recallBad int
+		queryErr  error
+		wg        sync.WaitGroup
+	)
+	issue := func(qi int, measure bool) {
+		defer wg.Done()
+		t0 := time.Now()
+		matches, st, err := ix.RangeSearch(queries[qi], o.Radius)
+		lat := time.Since(t0)
+		if !measure {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if queryErr == nil {
+				queryErr = err
+			}
+			return
+		}
+		samples = append(samples, sample{lat: lat, complete: st.Complete})
+		if st.Complete && len(matches) != want[qi] {
+			recallBad++
+		}
+	}
+
+	// Open loop: one query every interval, issued from its own
+	// goroutine so a slow query never stalls the generator.
+	interval := time.Duration(float64(time.Second) / o.Offered)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	run := func(d time.Duration, measure bool) int {
+		n := 0
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		stop := time.Now().Add(d)
+		for now := range tick.C {
+			if now.After(stop) {
+				return n
+			}
+			wg.Add(1)
+			go issue(rng.Intn(nQueries), measure)
+			n++
+		}
+		return n
+	}
+	run(o.Warmup, false)
+	wg.Wait()
+
+	relBefore := p.Reliability()
+	trBefore := p.Traffic()
+	issued := run(o.Duration, true)
+	wg.Wait()
+	trAfter := p.Traffic()
+	relAfter := p.Reliability()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if queryErr != nil {
+		return Benchmark{}, false, queryErr
+	}
+	complete := 0
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		lats = append(lats, s.lat)
+		if s.complete {
+			complete++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	shed := relAfter.TransportShed - relBefore.TransportShed
+	rejected := relAfter.AdmissionRejected - relBefore.AdmissionRejected
+	b := Benchmark{
+		Pkg:        "landmarkdht/cmd/lmbench",
+		Name:       "SustainedQPS/" + v.name,
+		Iterations: int64(issued),
+		Metrics: map[string]float64{
+			"qps-offered":        o.Offered,
+			"qps-complete":       float64(complete) / o.Duration.Seconds(),
+			"p50-ms":             qpsQuantile(lats, 0.50),
+			"p99-ms":             qpsQuantile(lats, 0.99),
+			"frames/query":       qpsPer(trAfter.Frames-trBefore.Frames, issued),
+			"bytes/query":        qpsPer(trAfter.Bytes-trBefore.Bytes, issued),
+			"msgs/query":         qpsPer(trAfter.Messages-trBefore.Messages, issued),
+			"complete-frac":      qpsFrac(complete, len(samples)),
+			"shed":               float64(shed),
+			"admission-rejected": float64(rejected),
+			"recall-mismatches":  float64(recallBad),
+			"executors":          float64(1 + maxInt(execs-1, 0)),
+			"gomaxprocs":         float64(runtime.GOMAXPROCS(0)),
+		},
+	}
+	ok := true
+	if o.RequireComplete {
+		ok = complete == len(samples) && len(samples) > 0 && shed == 0 && rejected == 0 && recallBad == 0
+		if !ok {
+			fmt.Fprintf(os.Stderr,
+				"lmbench: qps variant %s violated the completeness contract: "+
+					"%d/%d complete, shed=%d, rejected=%d, recall mismatches=%d\n",
+				v.name, complete, len(samples), shed, rejected, recallBad)
+		}
+	}
+	if recallBad > 0 {
+		fmt.Fprintf(os.Stderr, "lmbench: qps variant %s: %d complete answers disagreed with brute force\n",
+			v.name, recallBad)
+		ok = false
+	}
+	return b, ok, nil
+}
+
+// qpsQuantile returns the q-quantile of sorted latencies, in
+// milliseconds.
+func qpsQuantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func qpsPer(total int64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(total) / float64(n)
+}
+
+func qpsFrac(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// l2 is the benchmark's own ground-truth distance (the corpus is
+// Euclidean).
+func l2(a, b lm.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

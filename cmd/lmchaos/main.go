@@ -56,6 +56,10 @@ func realMain() int {
 		frame    = flag.Float64("framedrop", 0.02, "live-transport frame drop probability")
 		killconn = flag.Float64("killconn", 0.002, "per-frame connection kill probability")
 		procs    = flag.Int("procs", 0, "run the soak over this many real lmnode OS processes instead (SIGKILL churn; see procs.go)")
+		qps      = flag.Float64("qps", 0, "fixed offered load in queries per second across all clients (0 = closed loop)")
+		execs    = flag.Int("executors", 0, "shard index work across this many executors (0/1 = single protocol executor)")
+		batchDly = flag.Duration("batch-delay", 0, "destination-batch flush deadline (0 = batching off)")
+		maxAct   = flag.Int("max-active", 0, "admission cap on concurrent queries (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -83,9 +87,12 @@ func realMain() int {
 			KillConn:  *killconn,
 			Seed:      *seed + 11,
 		},
-		Retry:    lm.RetryConfig{MaxRetries: 3},
-		Deadline: 10 * time.Second,
-		Hedge:    lm.HedgeConfig{Delay: 250 * time.Millisecond},
+		Retry:            lm.RetryConfig{MaxRetries: 3},
+		Deadline:         10 * time.Second,
+		Hedge:            lm.HedgeConfig{Delay: 250 * time.Millisecond},
+		Batch:            lm.BatchOptions{MaxDelay: *batchDly},
+		Executors:        *execs,
+		MaxActiveQueries: *maxAct,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmchaos: %v\n", err)
@@ -164,6 +171,16 @@ func realMain() int {
 	if perClient == 0 {
 		perClient = 1
 	}
+	// With -qps the soak switches from closed-loop (issue as fast as
+	// answers arrive) to a fixed offered rate: each client paces its
+	// queries on a fixed schedule, staggered across clients, and only
+	// skips sleeping when it has fallen behind. The exactness contract
+	// below is unchanged — overload surfaces as honest incompletes and
+	// admission rejections, never as wrong answers.
+	var clientInterval time.Duration
+	if *qps > 0 {
+		clientInterval = time.Duration(float64(*clients) * float64(time.Second) / *qps)
+	}
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -172,6 +189,13 @@ func realMain() int {
 			crng := rand.New(rand.NewSource(*seed + 1000 + int64(c)))
 			var local stats
 			for i := 0; i < perClient; i++ {
+				if clientInterval > 0 {
+					offset := clientInterval * time.Duration(c) / time.Duration(*clients)
+					next := start.Add(time.Duration(i)*clientInterval + offset)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
 				q := make(lm.Vector, *dim)
 				for j := range q {
 					q[j] = crng.Float64()
@@ -233,9 +257,15 @@ func realMain() int {
 
 	rel := p.Reliability()
 	fs := p.Faults()
+	tr := p.Traffic()
+	if *qps > 0 {
+		fmt.Printf("lmchaos: offered %.0f qps fixed (open loop)\n", *qps)
+	}
 	fmt.Printf("lmchaos: %d queries in %v (%.0f qps), %.1f results/query\n",
 		agg.n, elapsed.Round(time.Millisecond), float64(agg.n)/elapsed.Seconds(),
 		float64(agg.resultCnt)/float64(max(agg.n, 1)))
+	fmt.Printf("lmchaos: traffic: %d messages in %d frames, %d bytes\n",
+		tr.Messages, tr.Frames, tr.Bytes)
 	if agg.n > 0 {
 		fmt.Printf("lmchaos: mean latency %v, max %v\n",
 			(agg.totalLat / time.Duration(agg.n)).Round(time.Microsecond),
@@ -247,6 +277,8 @@ func realMain() int {
 		fs.MessagesDropped, fs.MessagesDuplicated, fs.FramesDropped, fs.ConnsKilled)
 	fmt.Printf("lmchaos: recovery: %d retransmissions, %d recovered, %d hedges, %d subqueries lost for good\n",
 		rel.RetriesIssued, rel.Recovered, rel.Hedges, rel.Dropped)
+	fmt.Printf("lmchaos: backpressure: %d admission rejections, %d transport sheds\n",
+		rel.AdmissionRejected, rel.TransportShed)
 
 	injected := fs.MessagesDropped + fs.MessagesDuplicated + fs.FramesDropped + fs.ConnsKilled
 	if injected == 0 && (*drop > 0 || *dup > 0 || *frame > 0 || *killconn > 0) {

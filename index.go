@@ -379,19 +379,28 @@ func (ix *Index[T]) Object(id int) T { return ix.objects[id] }
 // inserts on the same index (searches are fine in live mode).
 func (ix *Index[T]) Insert(obj T) (int, error) {
 	id := len(ix.objects)
-	ix.objects = append(ix.objects, obj)
-	entry := core.Entry{Obj: core.ObjectID(id), Point: ix.emb.Map(obj)}
 	if ix.p.live != nil {
+		// The objects slice is read by Dist closures on the protocol
+		// executor and, when Options.Executors shards index work, on the
+		// shard executors too; publish the append through Do (which
+		// quiesces every executor) so all of them observe it before the
+		// entry can land anywhere.
+		if err := ix.p.live.Do(func() { ix.objects = append(ix.objects, obj) }); err != nil {
+			return 0, err
+		}
+		entry := core.Entry{Obj: core.ObjectID(id), Point: ix.emb.Map(obj)}
 		err := ix.p.live.Await(liveOpTimeout, func(finish func()) error {
 			return ix.p.sys.Publish(ix.name, ix.p.randomNode(), entry,
 				func(chordID uint64, hops int) { finish() })
 		})
 		if err != nil {
-			ix.objects = ix.objects[:id]
+			ix.p.live.Do(func() { ix.objects = ix.objects[:id] })
 			return 0, err
 		}
 		return id, nil
 	}
+	ix.objects = append(ix.objects, obj)
+	entry := core.Entry{Obj: core.ObjectID(id), Point: ix.emb.Map(obj)}
 	placed := false
 	err := ix.p.sys.Publish(ix.name, ix.p.randomNode(), entry,
 		func(chordID uint64, hops int) { placed = true })

@@ -1,0 +1,241 @@
+package chord
+
+import (
+	"time"
+
+	"landmarkdht/internal/wire"
+)
+
+// Destination batching (DESIGN.md §13): query, result and ack messages
+// bound for the same destination within a small flush budget are
+// coalesced into one wire.Batch frame. The batch pays the 20-byte
+// packet header once; at flush time each member is charged its trimmed
+// wire.BatchedSize to its own traffic kind and the shared envelope
+// header goes to KindBatch — so the bandwidth win is visible inside
+// the existing accounting, per kind, without changing what a query's
+// own stats mean. Fault draws (loss, duplication,
+// extra delay) happen per member at enqueue, in the same RNG order as
+// unbatched sends, and delivery-time liveness is checked per batch
+// exactly as inflight.run checks it per message.
+
+// BatchConfig parameterizes destination batching. The zero value
+// disables it.
+type BatchConfig struct {
+	// MaxDelay is the flush deadline: no message waits in an open batch
+	// longer than this. Zero disables batching entirely.
+	MaxDelay time.Duration
+	// MaxMsgs flushes a batch early once it holds this many messages
+	// (default 16).
+	MaxMsgs int
+	// MaxBytes flushes a batch early once its encoded size reaches this
+	// many bytes (default 1200, about one MTU of payload).
+	MaxBytes int
+}
+
+// Enabled reports whether destination batching is on.
+func (c BatchConfig) Enabled() bool { return c.MaxDelay > 0 }
+
+func (c *BatchConfig) fillDefaults() {
+	if !c.Enabled() {
+		return
+	}
+	if c.MaxMsgs <= 0 {
+		c.MaxMsgs = 16
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 1200
+	}
+}
+
+// batchable reports whether a message kind rides in destination
+// batches: the per-query hot-path kinds. Maintenance, lookups and
+// transfers keep their own frames.
+func batchable(kind MsgKind) bool {
+	return kind == KindQuery || kind == KindResult || kind == KindAck
+}
+
+// batchKey identifies one open batch: messages batch only when both
+// endpoints match, because the modeled latency and the sender-crash
+// check are per (from, to) pair.
+type batchKey struct {
+	from ID
+	to   ID
+}
+
+// batchMember is one message riding in an open batch.
+type batchMember struct {
+	kind MsgKind
+	// bytes is the member's full unbatched wire size; its traffic
+	// charge is decided at flush time (trimmed BatchedSize in a shared
+	// frame, the full size when the batch closes with one member and
+	// ships as a plain frame).
+	bytes   int
+	payload []byte
+	deliver func(dst *Node)
+	failed  func()
+	// delay is the member's own modeled one-way latency including any
+	// fault-injected extra delay; the batch ships at the slowest
+	// member's delay.
+	delay time.Duration
+}
+
+// pendingBatch is one open per-destination batch awaiting flush.
+type pendingBatch struct {
+	from    *Node
+	members []batchMember
+	// size is the batch's encoded size so far: the shared packet header
+	// plus every member's BatchedSize.
+	size int
+}
+
+// enqueueBatch adds one message to the destination's open batch,
+// opening it (and arming its flush deadline) if needed, and flushes
+// early when the size budget fills. Fault draws happen here, in the
+// same RNG order as unbatched sends; traffic charging waits for the
+// flush, which knows whether the message shared a frame.
+func (n *Network) enqueueBatch(from *Node, to ID, kind MsgKind, bytes int, payload []byte, deliver func(dst *Node), failed func()) {
+	dst, ok := n.nodes[to]
+	if !ok {
+		// Destination unknown at send time: charged (as a batch member,
+		// matching the lost path below) and lost, as on the unbatched
+		// path.
+		n.traffic.Add(kind, wire.BatchedSize(bytes))
+		if failed != nil {
+			failed()
+		}
+		return
+	}
+	delay := n.model.Latency(from.host, dst.host)
+	lost := false
+	if f := n.cfg.Faults; f != nil {
+		if f.lost(n.rt.Rand(), kind, from.host, dst.host, n.rt.Now()) {
+			// A lost member is charged as if it rode a shared frame: its
+			// bytes were spent even though delivery never happens.
+			lost = true
+			n.traffic.Add(kind, wire.BatchedSize(bytes))
+			if failed != nil {
+				n.rt.Schedule(delay, failed)
+			}
+		} else {
+			delay += f.extraDelay(n.rt.Rand())
+			if f.duplicated(n.rt.Rand(), kind) {
+				// The spurious copy travels unbatched (a retransmission
+				// arrives on its own frame) with the full message size.
+				n.traffic.Add(kind, bytes)
+				n.traffic.Frames++
+				d := n.acquireInflight()
+				d.net, d.from, d.to, d.deliver, d.failed = n, from, to, deliver, nil
+				n.tr.Send(uint64(to), 2*delay, payload, runInflight, d)
+			}
+		}
+	}
+	if lost {
+		return
+	}
+	key := batchKey{from: from.id, to: to}
+	if n.batches == nil {
+		n.batches = make(map[batchKey]*pendingBatch)
+	}
+	pb := n.batches[key]
+	if pb == nil {
+		pb = &pendingBatch{from: from, size: wire.PacketHeader}
+		n.batches[key] = pb
+		// The flush deadline: a lone message is never held past
+		// MaxDelay. The identity check makes a stale timer (the batch
+		// already flushed early) a no-op.
+		n.rt.Schedule(n.cfg.Batch.MaxDelay, func() {
+			if n.batches[key] == pb {
+				n.flushBatch(key, pb)
+			}
+		})
+	}
+	pb.members = append(pb.members, batchMember{
+		kind: kind, bytes: bytes, payload: payload, deliver: deliver, failed: failed, delay: delay,
+	})
+	pb.size += wire.BatchedSize(bytes)
+	if len(pb.members) >= n.cfg.Batch.MaxMsgs || pb.size >= n.cfg.Batch.MaxBytes {
+		n.flushBatch(key, pb)
+	}
+}
+
+// flushBatch closes one batch and ships it as a single frame: the
+// envelope header is charged to KindBatch (bytes only — its members
+// are the messages), each member's trimmed BatchedSize goes to its own
+// kind, and delivery happens at the slowest member's delay. A batch
+// that closes with a single member gains nothing from the envelope, so
+// it ships as a plain frame at the message's full unbatched size —
+// batching then never costs bytes, only flush latency.
+func (n *Network) flushBatch(key batchKey, pb *pendingBatch) {
+	delete(n.batches, key)
+	n.traffic.Frames++
+	if len(pb.members) == 1 {
+		m := pb.members[0]
+		n.traffic.Add(m.kind, m.bytes)
+		d := n.acquireInflight()
+		d.net, d.from, d.to, d.deliver, d.failed = n, pb.from, key.to, m.deliver, m.failed
+		n.tr.Send(uint64(key.to), m.delay, m.payload, runInflight, d)
+		return
+	}
+	n.traffic.AddBytes(KindBatch, wire.PacketHeader)
+	var delay time.Duration
+	var payloads [][]byte
+	for _, m := range pb.members {
+		n.traffic.Add(m.kind, wire.BatchedSize(m.bytes))
+		if m.delay > delay {
+			delay = m.delay
+		}
+		if m.payload != nil {
+			payloads = append(payloads, m.payload)
+		}
+	}
+	var payload []byte
+	if len(payloads) > 0 {
+		enc, err := wire.EncodeBatch(payloads)
+		if err != nil {
+			// Impossible for protocol-produced messages; degrade to the
+			// payload-less (accounting-only) path rather than lose the
+			// batch — each member still decodes from its prebound state.
+			enc = nil
+		}
+		payload = enc
+	}
+	bi := &batchInflight{net: n, from: pb.from, to: key.to, members: pb.members}
+	n.tr.Send(uint64(key.to), delay, payload, runBatchInflight, bi)
+}
+
+// batchInflight is one in-transit batch: the prebound per-event state
+// for its delivery event.
+type batchInflight struct {
+	net     *Network
+	from    *Node
+	to      ID
+	members []batchMember
+}
+
+// runBatchInflight is the prebound delivery callback for batches.
+func runBatchInflight(arg any) { arg.(*batchInflight).run() }
+
+// run applies the delivery-time liveness checks of inflight.run to the
+// whole batch, then delivers the members in enqueue order.
+func (b *batchInflight) run() {
+	if b.from.crashed {
+		for _, m := range b.members {
+			if m.failed != nil {
+				m.failed()
+			}
+		}
+		return
+	}
+	cur, ok := b.net.nodes[b.to]
+	if !ok || !cur.alive {
+		for _, m := range b.members {
+			if m.failed != nil {
+				m.failed()
+			}
+		}
+		return
+	}
+	for _, m := range b.members {
+		m.deliver(cur)
+	}
+}

@@ -1,0 +1,143 @@
+package chord
+
+import (
+	"testing"
+	"time"
+
+	"landmarkdht/internal/wire"
+)
+
+func batchCfg(maxDelay time.Duration, maxMsgs, maxBytes int) Config {
+	cfg := DefaultConfig()
+	cfg.Batch = BatchConfig{MaxDelay: maxDelay, MaxMsgs: maxMsgs, MaxBytes: maxBytes}
+	return cfg
+}
+
+// A lone message must never wait in an open batch past the flush
+// deadline: it is delivered by MaxDelay plus its own modeled latency.
+func TestBatchFlushDeadline(t *testing.T) {
+	const maxDelay = 2 * time.Millisecond
+	eng, net, nodes := newTestNet(t, 8, batchCfg(maxDelay, 100, 1<<20))
+	net.BuildAllTables()
+	rt := net.Runtime()
+	var deliveredAt time.Duration = -1
+	net.Send(nodes[0], nodes[5].ID(), KindQuery, 69, func(*Node) { deliveredAt = rt.Now() })
+	eng.Run()
+	if deliveredAt < 0 {
+		t.Fatal("lone batched message never delivered")
+	}
+	latency := net.Latency(nodes[0], nodes[5])
+	if limit := maxDelay + latency; deliveredAt > limit {
+		t.Fatalf("lone message held %v, budget is %v (latency %v)", deliveredAt, limit, latency)
+	}
+	if deliveredAt < maxDelay {
+		t.Fatalf("lone message delivered at %v, before the %v flush deadline", deliveredAt, maxDelay)
+	}
+	// A batch that closes with one member ships as a plain frame: full
+	// unbatched size, no envelope — batching never costs bytes.
+	tr := net.Traffic()
+	if tr.Bytes[KindQuery] != 69 || tr.Bytes[KindBatch] != 0 {
+		t.Fatalf("singleton flush charged query=%d batch=%d bytes, want 69 and 0",
+			tr.Bytes[KindQuery], tr.Bytes[KindBatch])
+	}
+}
+
+// A full batch (MaxMsgs members) flushes immediately, well before the
+// deadline.
+func TestBatchEarlyFlushOnCount(t *testing.T) {
+	const maxDelay = time.Hour // never reached
+	eng, net, nodes := newTestNet(t, 8, batchCfg(maxDelay, 4, 1<<20))
+	net.BuildAllTables()
+	delivered := 0
+	for i := 0; i < 4; i++ {
+		net.Send(nodes[0], nodes[5].ID(), KindQuery, 69, func(*Node) { delivered++ })
+	}
+	eng.Run()
+	if delivered != 4 {
+		t.Fatalf("delivered %d of 4 batched messages", delivered)
+	}
+	tr := net.Traffic()
+	if tr.Frames != 1 {
+		t.Fatalf("full batch shipped as %d frames, want 1", tr.Frames)
+	}
+}
+
+// Batching must make the accounted bytes strictly smaller than the
+// same messages sent unbatched, and the formula must match
+// wire.BatchSize.
+func TestBatchAccountingBeatsUnbatched(t *testing.T) {
+	const size = 69 // one-subquery query message at k=10
+	const count = 8
+	run := func(cfg Config) Traffic {
+		eng, net, nodes := newTestNet(t, 8, cfg)
+		net.BuildAllTables()
+		for i := 0; i < count; i++ {
+			net.Send(nodes[0], nodes[5].ID(), KindQuery, size, func(*Node) {})
+		}
+		eng.Run()
+		return net.Traffic()
+	}
+	plain := run(DefaultConfig())
+	batched := run(batchCfg(time.Millisecond, count, 1<<20))
+	_, plainBytes := plain.Total()
+	_, batchedBytes := batched.Total()
+	if batchedBytes >= plainBytes {
+		t.Fatalf("batched bytes %d not below unbatched %d", batchedBytes, plainBytes)
+	}
+	sizes := make([]int, count)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	if want := int64(wire.BatchSize(sizes)); batchedBytes != want {
+		t.Fatalf("batched bytes %d, wire.BatchSize says %d", batchedBytes, want)
+	}
+	if plain.Frames != count || batched.Frames != 1 {
+		t.Fatalf("frames: plain %d (want %d), batched %d (want 1)", plain.Frames, count, batched.Frames)
+	}
+	// Per-kind attribution: every member's trimmed bytes stay on
+	// KindQuery; only the shared envelope header lands on KindBatch.
+	if batched.Bytes[KindBatch] != wire.PacketHeader {
+		t.Fatalf("KindBatch bytes %d, want %d", batched.Bytes[KindBatch], wire.PacketHeader)
+	}
+	if batched.Msgs[KindQuery] != count {
+		t.Fatalf("KindQuery msgs %d, want %d", batched.Msgs[KindQuery], count)
+	}
+}
+
+// Messages to different destinations never share a batch.
+func TestBatchPerDestination(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 8, batchCfg(time.Millisecond, 100, 1<<20))
+	net.BuildAllTables()
+	delivered := map[ID]bool{}
+	for _, dst := range []*Node{nodes[3], nodes[5], nodes[7]} {
+		id := dst.ID()
+		net.Send(nodes[0], id, KindQuery, 69, func(d *Node) { delivered[d.ID()] = true })
+	}
+	eng.Run()
+	if len(delivered) != 3 {
+		t.Fatalf("delivered to %d destinations, want 3", len(delivered))
+	}
+	if tr := net.Traffic(); tr.Frames != 3 {
+		t.Fatalf("3 destinations shipped as %d frames, want 3", tr.Frames)
+	}
+}
+
+// A batch to a node that departs in flight fails every member, exactly
+// like per-message delivery.
+func TestBatchDeliveryLiveness(t *testing.T) {
+	eng, net, nodes := newTestNet(t, 8, batchCfg(time.Millisecond, 2, 1<<20))
+	net.BuildAllTables()
+	target := nodes[5].ID()
+	var deliveredN, failedN int
+	for i := 0; i < 2; i++ {
+		net.SendOrFail(nodes[0], target, KindQuery, 69,
+			func(*Node) { deliveredN++ }, func() { failedN++ })
+	}
+	if err := net.RemoveNode(target); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if deliveredN != 0 || failedN != 2 {
+		t.Fatalf("delivered %d, failed %d; want 0 delivered, 2 failed", deliveredN, failedN)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestAdmissionControl checks the MaxActiveQueries gate: when the cap
+// is reached, new queries are refused immediately as honest incompletes
+// — Complete=false with the whole query region reported uncovered,
+// never a silently empty "success" — and every rejection is accounted
+// in AdmissionRejected. Admitted queries keep their exact-result
+// contract, and finished queries free their slots.
+func TestAdmissionControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxActiveQueries = 2
+	f := buildFixtureCfg(t, 24, 800, 3, false, cfg)
+
+	// Issue six queries back-to-back without letting the engine run:
+	// two admit, four must be turned away at the door.
+	const issued = 6
+	queries := make([]int, issued)
+	results := make([]*QueryResult, issued)
+	for i := 0; i < issued; i++ {
+		qi := (i*131 + 7) % len(f.data)
+		queries[i] = qi
+		q := f.data[qi]
+		i := i
+		err := f.sys.RangeQuery("test-l2", f.ids[i%len(f.ids)], q, f.emb.Map(q), 8,
+			QueryOpts{}, func(qr *QueryResult) { results[i] = qr })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.eng.Run()
+
+	admitted, rejected := 0, 0
+	for i, qr := range results {
+		if qr == nil {
+			t.Fatalf("query %d never completed", i)
+		}
+		if qr.Complete {
+			admitted++
+			// Admitted queries stay exact under overload: equal recall,
+			// just fewer admitted.
+			want := f.bruteRange(f.data[queries[i]], 8)
+			if len(qr.Results) != len(want) {
+				t.Fatalf("admitted query %d returned %d results, brute force says %d",
+					i, len(qr.Results), len(want))
+			}
+			for _, res := range qr.Results {
+				if !want[res.Obj] {
+					t.Fatalf("admitted query %d returned spurious object %d", i, res.Obj)
+				}
+			}
+			continue
+		}
+		// A rejection must be honest: the whole region uncovered, no
+		// partial results pretending to be an answer.
+		rejected++
+		if len(qr.Uncovered) == 0 {
+			t.Fatalf("rejected query %d reports no uncovered region", i)
+		}
+		if len(qr.Results) != 0 {
+			t.Fatalf("rejected query %d carries %d results", i, len(qr.Results))
+		}
+	}
+	if admitted != cfg.MaxActiveQueries {
+		t.Fatalf("admitted %d queries, cap is %d", admitted, cfg.MaxActiveQueries)
+	}
+	if wantRej := issued - cfg.MaxActiveQueries; rejected != wantRej {
+		t.Fatalf("rejected %d queries, want %d", rejected, wantRej)
+	}
+	if f.sys.AdmissionRejected != rejected {
+		t.Fatalf("AdmissionRejected=%d, but %d queries were rejected", f.sys.AdmissionRejected, rejected)
+	}
+	if f.sys.active != 0 {
+		t.Fatalf("%d active-query slots leaked after all queries finished", f.sys.active)
+	}
+
+	// With the overload drained, the next query admits again.
+	qr := f.runRange(t, 0, f.data[42], 8, QueryOpts{})
+	if !qr.Complete {
+		t.Fatal("post-overload query was rejected with free slots")
+	}
+	if f.sys.AdmissionRejected != rejected {
+		t.Fatal("post-overload admission bumped the rejection counter")
+	}
+}
+
+// TestAdmissionDisabledByDefault checks the zero value keeps the old
+// behavior: no cap, nothing rejected.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	f := buildFixture(t, 16, 400, 3, false)
+	for i := 0; i < 8; i++ {
+		q := f.data[i*17]
+		if err := f.sys.RangeQuery("test-l2", f.ids[i%len(f.ids)], q, f.emb.Map(q), 6,
+			QueryOpts{}, func(qr *QueryResult) {
+				if !qr.Complete {
+					t.Errorf("uncapped query %d incomplete", i)
+				}
+			}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.eng.Run()
+	if f.sys.AdmissionRejected != 0 {
+		t.Fatalf("uncapped system rejected %d queries", f.sys.AdmissionRejected)
+	}
+}

@@ -43,6 +43,10 @@ type activeQuery struct {
 	uncovered   []query.Region
 	expired     bool
 	deadline    runtime.Timer
+	// admitted marks queries counted by the admission gate; finish
+	// releases their slot. Queries issued outside the gate (the naive
+	// router) never set it.
+	admitted bool
 }
 
 // pendingRegion pairs a subquery region with its settlement token.
@@ -185,6 +189,23 @@ func (s *System) RangeQuery(indexName string, srcID chord.ID, payload any, cente
 	if err != nil {
 		return err
 	}
+	if s.cfg.MaxActiveQueries > 0 && s.active >= s.cfg.MaxActiveQueries {
+		// Admission control: the system is saturated, so the query is
+		// rejected up front with an honest incomplete result — its whole
+		// region is Uncovered and the rejection is counted. Nothing is
+		// silently lost and no work is queued.
+		s.AdmissionRejected++
+		now := s.rt.Now()
+		res := &QueryResult{
+			Complete:  false,
+			Uncovered: []query.Region{region.Clone()},
+			Stats:     QueryStats{Issued: now, FirstResult: now, LastResult: now},
+		}
+		if done != nil {
+			s.rt.Schedule(0, func() { done(res) })
+		}
+		return nil
+	}
 	s.nextQ++
 	aq := &activeQuery{
 		id:       s.nextQ,
@@ -201,6 +222,8 @@ func (s *System) RangeQuery(indexName string, srcID chord.ID, payload any, cente
 		aq.trace = &Trace{}
 	}
 	aq.stats.Issued = s.rt.Now()
+	aq.admitted = true
+	s.active++
 	tok := s.beginResilience(aq, opts, region)
 	s.routeAt(src, aq, region, 0, tok)
 	return nil
@@ -714,19 +737,44 @@ func (s *System) surrogateRefine(n *IndexNode, aq *activeQuery, q query.Region, 
 }
 
 // answerLocal resolves one subquery against the node's local store and
-// ships the result back to the querier.
+// ships the result back to the querier. The store scan and the
+// exact-distance refinement are the query's CPU cost: with shard
+// executors (runtime.Sharder) they run on the shard owning the node's
+// data while everything touching shared query state stays on the
+// protocol executor.
 func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops int, tok int) {
 	if hops > aq.stats.Hops {
 		aq.stats.Hops = hops
+	}
+	if s.sharded() {
+		// Per-node scratch: a node's scans are serialized on its shard.
+		// The work closure only touches the node's own store and the
+		// query's immutable fields (payload, Dist, topK, r — Dist must
+		// be pure); the done closure rejoins the protocol executor.
+		var local []Result
+		var ncands int
+		s.shard.ExecShard(uint64(n.node.ID()), func() {
+			n.scanBuf = n.store(aq.ix.Name).scanAppend(q, n.scanBuf[:0])
+			local, ncands = refineLocal(aq, n.scanBuf)
+		}, func() {
+			s.answerDone(n, aq, q, hops, tok, local, ncands)
+		})
+		return
 	}
 	st := n.store(aq.ix.Name)
 	// Scan into the system-wide scratch buffer: the candidate list is
 	// fully consumed below before any other scan can run (the engine is
 	// single-threaded and Dist callbacks never re-enter the system).
 	s.scanBuf = st.scanAppend(q, s.scanBuf[:0])
-	cands := s.scanBuf
-	aq.stats.Candidates += len(cands)
-	var local []Result
+	local, ncands := refineLocal(aq, s.scanBuf)
+	s.answerDone(n, aq, q, hops, tok, local, ncands)
+}
+
+// refineLocal applies exact-distance refinement (and the paper's
+// per-node top-k cut) to a scan's candidates. It only reads the
+// query's immutable fields, so it is safe on a shard executor.
+func refineLocal(aq *activeQuery, cands []Entry) (local []Result, ncands int) {
+	ncands = len(cands)
 	for _, e := range cands {
 		d := aq.ix.Dist(aq.payload, e.Obj)
 		if aq.topK == 0 && d > aq.r {
@@ -740,10 +788,17 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 		sort.Slice(local, func(i, j int) bool { return local[i].Dist < local[j].Dist })
 		local = local[:aq.topK]
 	}
+	return local, ncands
+}
+
+// answerDone is answerLocal's protocol-executor tail: accounting,
+// tracing, and result shipment for one locally answered subquery.
+func (s *System) answerDone(n *IndexNode, aq *activeQuery, q query.Region, hops int, tok int, local []Result, ncands int) {
+	aq.stats.Candidates += ncands
 	nodeID := n.node.ID()
 	aq.trace.add(TraceEvent{At: s.rt.Now(), Node: nodeID, Action: TraceAnswer,
 		PreKey: q.PreKey, PreLen: q.PreLen, Hops: hops,
-		Candidates: len(cands), Returned: len(local)})
+		Candidates: ncands, Returned: len(local)})
 	if nodeID == aq.srcID {
 		// The querier is itself an index node for this region.
 		s.mergeResult(aq, nodeID, local, tok)
@@ -899,6 +954,9 @@ func (s *System) finish(aq *activeQuery) {
 		return
 	}
 	aq.finished = true
+	if aq.admitted {
+		s.active-- // release the admission-gate slot
+	}
 	if aq.deadline != nil {
 		aq.deadline.Stop()
 	}

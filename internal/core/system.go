@@ -44,6 +44,13 @@ type Config struct {
 	// Hedge configures hedged retransmission of slow subqueries. The
 	// zero value disables it.
 	Hedge HedgeConfig
+	// MaxActiveQueries, when positive, bounds the queries concurrently
+	// active in the system. A query arriving at the cap is rejected at
+	// admission: it completes immediately with an honest incomplete
+	// result (its whole region Uncovered, nothing silently lost) and is
+	// counted in System.AdmissionRejected. Zero admits everything —
+	// overload then queues in the transport inboxes instead.
+	MaxActiveQueries int
 }
 
 // RetryConfig tunes the reliable-delivery layer: every subquery and
@@ -169,6 +176,18 @@ type System struct {
 	// HedgesIssued counts hedged duplicate subqueries shipped by the
 	// resilience layer (Config.Hedge).
 	HedgesIssued int
+	// AdmissionRejected counts queries refused by the admission gate
+	// (Config.MaxActiveQueries); every rejection produced an honest
+	// incomplete result.
+	AdmissionRejected int
+	// active is the number of admitted, unfinished queries — the
+	// admission gate's saturation measure.
+	active int
+	// shard is the runtime's per-node work seam (runtime.Sharder), nil
+	// when the runtime has none. With shard executors, store scans and
+	// exact-distance refinement run on the shard owning the node while
+	// all other protocol state stays on the protocol executor.
+	shard runtime.Sharder
 	// suspicion counts consecutive delivery failures per node; see
 	// HedgeConfig. Only written when hedging is enabled.
 	suspicion map[chord.ID]int
@@ -185,6 +204,11 @@ type IndexNode struct {
 	node      *chord.Node
 	stores    map[string]*store
 	migrating bool
+	// scanBuf is the node's reusable candidate buffer for sharded local
+	// scans: each node's scans are serialized on its own shard executor,
+	// so a per-node buffer is single-goroutine. Single-context runtimes
+	// use the system-wide System.scanBuf instead.
+	scanBuf []Entry
 }
 
 // NewSystem creates an empty system over a fresh overlay driven by a
@@ -209,7 +233,7 @@ func NewSystemRuntime(rt runtime.Runtime, tr runtime.Transport, model netmodel.M
 	}
 	cfg.Retry.fillDefaults()
 	cfg.Hedge.fillDefaults()
-	return &System{
+	s := &System{
 		rt:         rt,
 		net:        chord.NewNetworkRuntime(rt, tr, model, cfg.Chord),
 		cfg:        cfg,
@@ -218,6 +242,32 @@ func NewSystemRuntime(rt runtime.Runtime, tr runtime.Transport, model netmodel.M
 		replicated: make(map[string]int),
 		suspicion:  make(map[chord.ID]int),
 	}
+	s.shard, _ = rt.(runtime.Sharder)
+	return s
+}
+
+// sharded reports whether per-node store work runs on shard executors.
+// When false, everything runs on the single protocol context and
+// cross-node state may be touched freely from it.
+func (s *System) sharded() bool {
+	return s.shard != nil && s.shard.ShardCount() > 0
+}
+
+// storeAdd applies one entry to a node's store on the executor that
+// owns the node's data: inline on single-context runtimes, on the
+// node's shard executor otherwise. done (optional) runs on the
+// protocol executor after the entry is stored.
+func (s *System) storeAdd(in *IndexNode, indexName string, key lph.Key, e Entry, done func()) {
+	if !s.sharded() {
+		in.store(indexName).add(key, e)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	s.shard.ExecShard(uint64(in.node.ID()), func() {
+		in.store(indexName).add(key, e)
+	}, done)
 }
 
 // suspect records a delivery failure against a node (hedge fire or
@@ -375,10 +425,12 @@ func (s *System) Publish(indexName string, srcID chord.ID, e Entry, done func(ow
 			return
 		}
 		s.net.SendOrFail(src.node, owner, chord.KindLookup, entryBytes, func(dst *chord.Node) {
-			s.nodes[dst.ID()].store(indexName).add(key, e)
-			if done != nil {
-				done(dst.ID(), hops+1)
-			}
+			id := dst.ID()
+			s.storeAdd(s.nodes[id], indexName, key, e, func() {
+				if done != nil {
+					done(id, hops+1)
+				}
+			})
 		}, func() {
 			// Owner vanished: re-resolve through the oracle so the
 			// entry is not lost (models retry).
@@ -386,10 +438,12 @@ func (s *System) Publish(indexName string, srcID chord.ID, e Entry, done func(ow
 			if err != nil {
 				return
 			}
-			s.nodes[cur.ID()].store(indexName).add(key, e)
-			if done != nil {
-				done(cur.ID(), hops+1)
-			}
+			id := cur.ID()
+			s.storeAdd(s.nodes[id], indexName, key, e, func() {
+				if done != nil {
+					done(id, hops+1)
+				}
+			})
 		})
 	})
 	return nil
@@ -430,10 +484,12 @@ func (s *System) publishReliably(src *IndexNode, owner chord.ID, key lph.Key, in
 			if attempt > 0 {
 				s.RecoveredSubqueries++
 			}
-			s.nodes[dst.ID()].store(indexName).add(key, e)
-			if done != nil {
-				done(dst.ID(), hops+1)
-			}
+			id := dst.ID()
+			s.storeAdd(s.nodes[id], indexName, key, e, func() {
+				if done != nil {
+					done(id, hops+1)
+				}
+			})
 		}, nil)
 	}
 	send(owner, 0)

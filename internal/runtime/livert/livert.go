@@ -71,7 +71,25 @@ type Config struct {
 	// from per-reader sources seeded by Faults.Seed, never from the
 	// executor's protocol source.
 	Faults *runtime.FaultPolicy
+	// Executors is the total executor-goroutine count. 0 or 1 keeps
+	// the classic single protocol executor; N > 1 adds N-1 shard
+	// executors that run per-node store work routed through ExecShard
+	// (hash by node ID), so one machine uses several cores while every
+	// node's data stays single-goroutine. Protocol bookkeeping always
+	// stays on the protocol executor.
+	Executors int
+	// MaxInbox bounds the protocol executor's queue of pending message
+	// deliveries (timers and client work are never shed). A full inbox
+	// sheds the newest delivery — counted by QueueStats, surfaced by
+	// the overlay's retry/deadline accounting as an honest incomplete
+	// result, never silent loss. 0 applies DefaultMaxInbox; negative
+	// disables the bound.
+	MaxInbox int
 }
+
+// DefaultMaxInbox is the delivery-queue bound applied when
+// Config.MaxInbox is zero.
+const DefaultMaxInbox = 8192
 
 // FaultStats counts the transport-level faults a live runtime
 // injected.
@@ -85,10 +103,30 @@ type FaultStats struct {
 
 // task is one unit of protocol work for the executor. Exactly one of
 // fn / argFn is set; argFn mirrors Clock.ScheduleArg's prebound form.
+// sheddable marks message deliveries, the only tasks a full inbox may
+// drop.
 type task struct {
-	fn    func()
-	argFn func(any)
-	arg   any
+	fn        func()
+	argFn     func(any)
+	arg       any
+	sheddable bool
+}
+
+// shardTask is one unit of per-node work for a shard executor: work
+// runs on the shard, then done (if non-nil) is posted back to the
+// protocol executor.
+type shardTask struct {
+	work func()
+	done func()
+}
+
+// shardExec is one shard executor: a FIFO queue drained by a single
+// goroutine that owns the stores of every node hashing to it.
+type shardExec struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []shardTask
+	closed bool
 }
 
 // envelope is a sent message waiting for its frame to arrive at the
@@ -119,6 +157,15 @@ type Runtime struct {
 	cond   *sync.Cond
 	queue  []task
 	closed bool
+	// maxInbox bounds the sheddable (message-delivery) tasks in queue;
+	// <= 0 means unbounded. tasksShed counts deliveries dropped by the
+	// bound.
+	maxInbox  int
+	tasksShed atomic.Int64
+
+	// shards are the extra executors for per-node store work; empty in
+	// single-executor mode.
+	shards []*shardExec
 
 	epMu sync.Mutex
 	eps  map[uint64]*endpoint
@@ -149,9 +196,22 @@ func New(cfg Config) *Runtime {
 		eps:     make(map[uint64]*endpoint),
 		pending: make(map[uint64]envelope),
 	}
+	switch {
+	case cfg.MaxInbox == 0:
+		r.maxInbox = DefaultMaxInbox
+	case cfg.MaxInbox > 0:
+		r.maxInbox = cfg.MaxInbox
+	}
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(1)
 	go r.run()
+	for i := 1; i < cfg.Executors; i++ {
+		s := &shardExec{}
+		s.cond = sync.NewCond(&s.mu)
+		r.shards = append(r.shards, s)
+		r.wg.Add(1)
+		go r.runShard(s)
+	}
 	return r
 }
 
@@ -187,17 +247,91 @@ func (r *Runtime) run() {
 }
 
 // post enqueues a task for the executor. It never blocks. It reports
-// whether the task was accepted (false after Close).
+// whether the task was accepted (false after Close). Sheddable tasks —
+// message deliveries — are dropped (and counted) when the bounded
+// inbox is full: the transport sheds exactly like a full netrt link
+// queue, and the overlay's retry/deadline accounting turns the loss
+// into an honest incomplete result.
 func (r *Runtime) post(t task) bool {
 	r.mu.Lock() //lint:allow execblock bounded critical section: holders only append and signal (lockheld-checked)
 	if r.closed {
 		r.mu.Unlock()
 		return false
 	}
+	if t.sheddable && r.maxInbox > 0 && len(r.queue) >= r.maxInbox {
+		r.mu.Unlock()
+		r.tasksShed.Add(1)
+		return true
+	}
 	r.queue = append(r.queue, t)
 	r.cond.Signal()
 	r.mu.Unlock()
 	return true
+}
+
+// runShard drains one shard executor until Close. Accepted tasks
+// always run (the queue is drained after close), so a quiescence
+// barrier parked on a shard is always released.
+//
+//lint:context executor
+func (r *Runtime) runShard(s *shardExec) {
+	defer r.wg.Done()
+	s.mu.Lock() //lint:allow execblock the shard executor's own queue mutex; holders only append and signal
+	for {
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait() //lint:allow execblock idle shard executor parking on its own queue is the design
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return // closed and drained
+		}
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		t.work()
+		if t.done != nil {
+			r.post(task{fn: t.done})
+		}
+		s.mu.Lock() //lint:allow execblock the shard executor's own queue mutex; holders only append and signal
+	}
+}
+
+// ExecShard implements runtime.Sharder: work runs on the shard
+// executor owning key, then done (if non-nil) runs back on the
+// protocol executor. With no shard executors both run synchronously on
+// the caller. Protocol code calls it from executor context.
+//
+//lint:context executor
+func (r *Runtime) ExecShard(key uint64, work, done func()) {
+	if len(r.shards) == 0 {
+		work()
+		if done != nil {
+			done()
+		}
+		return
+	}
+	s := r.shards[int(key%uint64(len(r.shards)))]
+	s.mu.Lock() //lint:allow execblock bounded critical section: the shard queue mutex; holders only append and signal, never block
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, shardTask{work: work, done: done})
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// ShardCount implements runtime.Sharder.
+func (r *Runtime) ShardCount() int { return len(r.shards) }
+
+// QueueStats snapshots the protocol executor's inbox: its current
+// depth and the number of deliveries shed by the bound. Safe to call
+// from any goroutine.
+func (r *Runtime) QueueStats() (depth int, shed int64) {
+	r.mu.Lock()
+	depth = len(r.queue)
+	r.mu.Unlock()
+	return depth, r.tasksShed.Load()
 }
 
 // after posts t once d has elapsed (immediately for d <= 0).
@@ -322,14 +456,14 @@ func closeConn(c net.Conn) {
 func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver func(any), arg any) {
 	d := time.Duration(float64(delay) * r.cfg.LatencyScale)
 	if payload == nil {
-		r.after(d, task{argFn: deliver, arg: arg})
+		r.after(d, task{argFn: deliver, arg: arg, sheddable: true})
 		return
 	}
 	r.epMu.Lock() //lint:allow execblock bounded critical section: the endpoint table mutex; holders never block (lockheld-checked)
 	ep := r.eps[to]
 	r.epMu.Unlock()
 	if ep == nil {
-		r.after(d, task{argFn: deliver, arg: arg})
+		r.after(d, task{argFn: deliver, arg: arg, sheddable: true})
 		return
 	}
 	r.pendMu.Lock() //lint:allow execblock bounded critical section: the pending-envelope mutex; holders never block (lockheld-checked)
@@ -344,7 +478,7 @@ func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver f
 		r.pendMu.Lock() //lint:allow execblock bounded critical section: the pending-envelope mutex; holders never block (lockheld-checked)
 		delete(r.pending, id)
 		r.pendMu.Unlock()
-		r.after(d, task{argFn: deliver, arg: arg})
+		r.after(d, task{argFn: deliver, arg: arg, sheddable: true})
 		return
 	}
 	//lint:allow execblock every pipe has a dedicated reader draining it, and KillConnection releases blocked writers
@@ -356,7 +490,7 @@ func (r *Runtime) Send(to uint64, delay time.Duration, payload []byte, deliver f
 		delete(r.pending, id)
 		r.pendMu.Unlock()
 		if pend {
-			r.after(d, task{argFn: deliver, arg: arg})
+			r.after(d, task{argFn: deliver, arg: arg, sheddable: true})
 		}
 	}
 }
@@ -396,7 +530,7 @@ func (r *Runtime) readLoop(node uint64, conn net.Conn) {
 		delete(r.pending, id)
 		r.pendMu.Unlock()
 		if ok {
-			r.after(env.delay, task{argFn: env.deliver, arg: env.arg})
+			r.after(env.delay, task{argFn: env.deliver, arg: env.arg, sheddable: true})
 		}
 		if faults.KillConn() {
 			// Kill this node's own connection: everything still in
@@ -449,17 +583,53 @@ func (r *Runtime) FaultStats() FaultStats {
 
 // Do runs fn on the executor and waits for it to return. It is how
 // client goroutines perform protocol operations (setup, queries,
-// inspection) without violating the single-threaded contract.
+// inspection) without violating the single-threaded contract. With
+// shard executors, fn additionally runs with every shard parked at a
+// barrier, so control-plane mutations that cross node boundaries
+// (membership, bulk loads, migrations, snapshots) see a quiescent
+// system — the same exclusive view they get in single-executor mode.
 func (r *Runtime) Do(fn func()) error {
 	done := make(chan struct{})
 	if !r.post(task{fn: func() {
-		fn()
+		r.quiesced(fn)
 		close(done)
 	}}) {
 		return ErrClosed
 	}
 	<-done
 	return nil
+}
+
+// quiesced runs fn on the protocol executor with every shard executor
+// parked. The park task runs ahead of any later-queued shard work, and
+// pending shard work is store-local and finite, so the wait is bounded
+// by the shards' current queues — this is the one place the protocol
+// executor intentionally waits on the shards, and shard executors
+// drain their queues even after Close, so the barrier always releases.
+func (r *Runtime) quiesced(fn func()) {
+	if len(r.shards) == 0 {
+		fn()
+		return
+	}
+	release := make(chan struct{})
+	var parked sync.WaitGroup
+	for _, s := range r.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		parked.Add(1)
+		s.queue = append(s.queue, shardTask{work: func() {
+			parked.Done()
+			<-release
+		}})
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+	parked.Wait()
+	fn()
+	close(release)
 }
 
 // Await runs op on the executor and waits until op's completion
@@ -517,6 +687,12 @@ func (r *Runtime) Close() {
 	r.closed = true
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	for _, s := range r.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
 	// Snapshot the endpoints under the lock, close them after releasing
 	// it: Close on one end synchronizes with that pipe's peer, and a
 	// reader racing into KillConnection needs epMu for its own teardown.

@@ -1,0 +1,133 @@
+// Batch envelope: several messages bound for the same destination
+// coalesced into one frame. The paper's §4.1 model charges every
+// message its own 20-byte packet header; a batch pays that header once
+// and carries each member as a 3-byte entry header plus the member's
+// body. The member's own packet header is not shipped: its only live
+// bytes — the message kind and the four counted header bytes [2:6]
+// (entry/subquery count, k) — move into the entry, and the 14 zero
+// filler bytes are elided. Decoding reconstructs each member
+// byte-for-byte, so batching is invisible above the transport.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+const (
+	// PerBatchedEntry is the per-member overhead inside a batch: one
+	// kind byte plus a 2-byte body length.
+	PerBatchedEntry = 3
+	// BatchHeaderTrim is how many of a member's own bytes the batch
+	// envelope elides: the 2-byte (version, kind) prefix — reconstructed
+	// from the entry header — and the 14 zero filler bytes [6:20] of the
+	// member's packet header.
+	BatchHeaderTrim = PacketHeader - 4
+)
+
+// BatchedSize returns the bytes one message of encoded size s occupies
+// inside a batch: its body plus the entry header, minus the elided
+// packet-header bytes. Messages smaller than a packet header (modeled
+// acks with a custom size) never go below the entry overhead.
+func BatchedSize(s int) int {
+	if s < BatchHeaderTrim {
+		return PerBatchedEntry
+	}
+	return s - BatchHeaderTrim + PerBatchedEntry
+}
+
+// BatchSize returns the encoded size of a batch carrying messages of
+// the given individual sizes: one shared packet header plus each
+// member's BatchedSize. For two or more full-size members this is
+// strictly smaller than the sum of the individual sizes.
+func BatchSize(sizes []int) int {
+	total := PacketHeader
+	for _, s := range sizes {
+		total += BatchedSize(s)
+	}
+	return total
+}
+
+// EncodeBatch coalesces the given encoded messages (EncodeQuery /
+// EncodeResult output) into one batch frame. Every member must carry
+// the standard packet header with zero filler; the batch is then
+// exactly BatchSize of the member lengths.
+func EncodeBatch(msgs [][]byte) ([]byte, error) {
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("wire: empty batch")
+	}
+	if len(msgs) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: batch of %d messages overflows the count field", len(msgs))
+	}
+	size := PacketHeader
+	for i, m := range msgs {
+		if len(m) < PacketHeader {
+			return nil, fmt.Errorf("wire: batch member %d is %d bytes, below the packet header", i, len(m))
+		}
+		if m[0] != 1 {
+			return nil, fmt.Errorf("wire: batch member %d has version %d", i, m[0])
+		}
+		for _, b := range m[6:PacketHeader] {
+			if b != 0 {
+				return nil, fmt.Errorf("wire: batch member %d has non-zero header filler", i)
+			}
+		}
+		body := len(m) - BatchHeaderTrim
+		if body > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: batch member %d body is %d bytes, overflows the length field", i, body)
+		}
+		size += PerBatchedEntry + body
+	}
+	out := make([]byte, 0, size)
+	var hdr [PacketHeader]byte
+	hdr[0] = 1
+	hdr[1] = 'B'
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(msgs)))
+	out = append(out, hdr[:]...)
+	for _, m := range msgs {
+		var eh [PerBatchedEntry]byte
+		eh[0] = m[1]
+		binary.BigEndian.PutUint16(eh[1:3], uint16(len(m)-BatchHeaderTrim))
+		out = append(out, eh[:]...)
+		out = append(out, m[2:6]...)
+		out = append(out, m[PacketHeader:]...)
+	}
+	return out, nil
+}
+
+// DecodeBatch splits a batch frame back into its member messages, each
+// byte-identical to the message handed to EncodeBatch.
+func DecodeBatch(data []byte) ([][]byte, error) {
+	if len(data) < PacketHeader {
+		return nil, fmt.Errorf("wire: batch truncated at %d bytes", len(data))
+	}
+	if data[0] != 1 || data[1] != 'B' {
+		return nil, fmt.Errorf("wire: bad batch header %x %x", data[0], data[1])
+	}
+	n := int(binary.BigEndian.Uint16(data[2:4]))
+	out := make([][]byte, 0, n)
+	off := PacketHeader
+	for i := 0; i < n; i++ {
+		if len(data) < off+PerBatchedEntry {
+			return nil, fmt.Errorf("wire: batch entry %d truncated", i)
+		}
+		kind := data[off]
+		body := int(binary.BigEndian.Uint16(data[off+1 : off+3]))
+		off += PerBatchedEntry
+		if body < 4 || len(data) < off+body {
+			return nil, fmt.Errorf("wire: batch entry %d body truncated", i)
+		}
+		m := make([]byte, PacketHeader+body-4)
+		m[0] = 1
+		m[1] = kind
+		copy(m[2:6], data[off:off+4])
+		copy(m[PacketHeader:], data[off+4:off+body])
+		out = append(out, m)
+		off += body
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("wire: batch has %d trailing bytes", len(data)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randBatchMembers builds a mixed bag of real query/result encodings.
+func randBatchMembers(t *testing.T, rng *rand.Rand, n int) [][]byte {
+	t.Helper()
+	p := part(t, 4)
+	var msgs [][]byte
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			msg := QueryMessage{Source: rng.Uint32()}
+			for j, m := 0, 1+rng.Intn(3); j < m; j++ {
+				msg.Subqueries = append(msg.Subqueries, randRegion(rng, p))
+			}
+			data, err := EncodeQuery(p, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs = append(msgs, data)
+		} else {
+			var entries []ResultEntry
+			for j, m := 0, rng.Intn(5); j < m; j++ {
+				entries = append(entries, ResultEntry{Obj: int32(rng.Intn(1000)), Dist: rng.Float64() * 100})
+			}
+			data, err := EncodeResult(entries, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs = append(msgs, data)
+		}
+	}
+	return msgs
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		msgs := randBatchMembers(t, rng, 1+rng.Intn(6))
+		enc, err := EncodeBatch(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("decoded %d members, want %d", len(got), len(msgs))
+		}
+		for i := range msgs {
+			if !bytes.Equal(got[i], msgs[i]) {
+				t.Fatalf("member %d corrupted by batch round-trip:\n got %x\nwant %x", i, got[i], msgs[i])
+			}
+		}
+	}
+}
+
+// The BatchSize formula must equal the encoded length, the same
+// size-model honesty TestSizesMatchPaperFormulas enforces for the
+// per-message encodings.
+func TestBatchSizeMatchesEncodedLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		msgs := randBatchMembers(t, rng, 1+rng.Intn(8))
+		sizes := make([]int, len(msgs))
+		for i, m := range msgs {
+			sizes[i] = len(m)
+		}
+		enc, err := EncodeBatch(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != BatchSize(sizes) {
+			t.Fatalf("encoded %d bytes, BatchSize says %d (members %v)", len(enc), BatchSize(sizes), sizes)
+		}
+	}
+}
+
+// Batching two or more messages must beat sending them separately —
+// that is the point of the envelope — while a batch of one costs the
+// entry overhead.
+func TestBatchSizeSavings(t *testing.T) {
+	q := QuerySize(1, 10) // 69
+	if got := BatchSize([]int{q}); got != q+PerBatchedEntry-BatchHeaderTrim+PacketHeader {
+		t.Fatalf("single-member batch size %d", got)
+	}
+	sum := 0
+	var sizes []int
+	for i := 0; i < 4; i++ {
+		sizes = append(sizes, q)
+		sum += q
+	}
+	if got := BatchSize(sizes); got >= sum {
+		t.Fatalf("4-message batch is %d bytes, separate messages are %d", got, sum)
+	}
+	// Modeled small acks never produce a negative batched size.
+	if got := BatchedSize(2); got != PerBatchedEntry {
+		t.Fatalf("BatchedSize(2) = %d, want the bare entry overhead %d", got, PerBatchedEntry)
+	}
+}
+
+func TestBatchEncodeErrors(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := EncodeBatch([][]byte{make([]byte, 5)}); err == nil {
+		t.Fatal("sub-header member accepted")
+	}
+	bad := make([]byte, 30)
+	bad[0] = 2
+	if _, err := EncodeBatch([][]byte{bad}); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	filler := make([]byte, 30)
+	filler[0] = 1
+	filler[10] = 7 // non-zero header filler cannot be elided
+	if _, err := EncodeBatch([][]byte{filler}); err == nil {
+		t.Fatal("non-zero filler accepted")
+	}
+}
+
+func TestBatchDecodeErrors(t *testing.T) {
+	msgs := randBatchMembers(t, rand.New(rand.NewSource(10)), 3)
+	enc, err := EncodeBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][]byte{
+		nil,
+		enc[:10],                            // truncated header
+		enc[:len(enc)-1],                    // truncated body
+		append(append([]byte{}, enc...), 0), // trailing bytes
+	} {
+		if _, err := DecodeBatch(tc); err == nil {
+			t.Fatalf("malformed batch of %d bytes accepted", len(tc))
+		}
+	}
+	wrongKind := append([]byte{}, enc...)
+	wrongKind[1] = 'Q'
+	if _, err := DecodeBatch(wrongKind); err == nil {
+		t.Fatal("non-batch kind accepted")
+	}
+}

@@ -56,6 +56,17 @@ type Options struct {
 	// replica. Requires Index.Replicate to be useful — without a
 	// replica the hedge re-probes the same owner. See core.HedgeConfig.
 	Hedge HedgeConfig
+	// Batch coalesces query/result/ack messages bound for the same node
+	// into one wire.Batch frame, paying the packet header once per frame
+	// instead of once per message (DESIGN.md §13). The zero value
+	// disables batching; set Batch.MaxDelay to enable it.
+	Batch BatchOptions
+	// MaxActiveQueries bounds concurrently active range queries
+	// (admission control): past the cap, new queries finish immediately
+	// as honest incompletes (Complete=false, the whole region
+	// uncovered) and are counted in ReliabilityStats.AdmissionRejected.
+	// Zero means unlimited.
+	MaxActiveQueries int
 	// Live runs the platform over the live concurrent runtime instead of
 	// the discrete-event simulator: node inboxes are real goroutines and
 	// connections, retry timers are real timers, and searches may be
@@ -65,6 +76,18 @@ type Options struct {
 	// mode (0, the default, delivers messages as fast as the machine
 	// allows; 1 reproduces the latency model in real time).
 	LiveLatencyScale float64
+	// Executors shards per-node index work across this many executor
+	// goroutines in live mode (protocol logic stays on one executor;
+	// store scans and distance refinement fan out by node ID). Zero or
+	// one keeps everything on the single protocol executor. Ignored in
+	// simulated mode. Incompatible with EnableLoadBalancing.
+	Executors int
+	// MaxInbox bounds the live executor's delivery queue: deliveries
+	// past the bound are shed (counted in
+	// ReliabilityStats.TransportShed) instead of growing the queue
+	// without limit. Zero means the default bound (8192); negative
+	// means unbounded. Ignored in simulated mode.
+	MaxInbox int
 }
 
 // RetryConfig re-exports the reliable-delivery knobs.
@@ -72,6 +95,9 @@ type RetryConfig = core.RetryConfig
 
 // HedgeConfig re-exports the subquery-hedging knobs.
 type HedgeConfig = core.HedgeConfig
+
+// BatchOptions re-exports the destination-batching knobs.
+type BatchOptions = chord.BatchConfig
 
 // FaultOptions re-exports the runtime-agnostic fault policy.
 type FaultOptions = runtime.FaultPolicy
@@ -130,13 +156,16 @@ func New(opts Options) (*Platform, error) {
 	} else if opts.LossRate > 0 || opts.Jitter > 0 {
 		cfg.Chord.Faults = chord.NewFaultPlan().DropAll(opts.LossRate).Jitter(opts.Jitter)
 	}
+	cfg.Chord.Batch = opts.Batch
 	cfg.Retry = opts.Retry
 	cfg.Deadline = opts.Deadline
 	cfg.Hedge = opts.Hedge
+	cfg.MaxActiveQueries = opts.MaxActiveQueries
 	p := &Platform{opts: opts, plan: cfg.Chord.Faults}
 	if opts.Live {
 		p.live = livert.New(livert.Config{
 			Seed: opts.Seed, LatencyScale: opts.LiveLatencyScale, Faults: opts.Faults,
+			Executors: opts.Executors, MaxInbox: opts.MaxInbox,
 		})
 		p.sys = core.NewSystemRuntime(p.live, p.live, model, cfg)
 	} else {
@@ -297,6 +326,19 @@ type ReliabilityStats struct {
 	// re-sent to the owner's successor replica after Options.Hedge's
 	// delay.
 	Hedges int
+	// AdmissionRejected counts queries refused at admission because
+	// Options.MaxActiveQueries concurrent queries were already running;
+	// each rejection produced an honest incomplete result.
+	AdmissionRejected int
+	// TransportShed counts deliveries dropped by the bounded transport
+	// queue (Options.MaxInbox in live mode, the per-link send queue on
+	// a deployed Node). Always zero on a simulated platform.
+	TransportShed int64
+	// QueueDepth is the transport delivery queue's depth at snapshot
+	// time — an instantaneous saturation gauge, not a counter.
+	QueueDepth int
+	// Reconnects counts transport link re-dials (deployed nodes only).
+	Reconnects int64
 }
 
 // Reliability returns the platform's loss/retry counters.
@@ -304,13 +346,17 @@ func (p *Platform) Reliability() ReliabilityStats {
 	var rs ReliabilityStats
 	p.protocol(func() error {
 		rs = ReliabilityStats{
-			Dropped:       p.sys.DroppedSubqueries,
-			RetriesIssued: p.sys.RetriesIssued,
-			Recovered:     p.sys.RecoveredSubqueries,
-			Hedges:        p.sys.HedgesIssued,
+			Dropped:           p.sys.DroppedSubqueries,
+			RetriesIssued:     p.sys.RetriesIssued,
+			Recovered:         p.sys.RecoveredSubqueries,
+			Hedges:            p.sys.HedgesIssued,
+			AdmissionRejected: p.sys.AdmissionRejected,
 		}
 		return nil
 	})
+	if p.live != nil {
+		rs.QueueDepth, rs.TransportShed = p.live.QueueStats()
+	}
 	return rs
 }
 
@@ -349,6 +395,10 @@ func (p *Platform) Faults() FaultStats {
 type Traffic struct {
 	Messages int64
 	Bytes    int64
+	// Frames counts wire frames shipped: with destination batching off
+	// it equals Messages; with batching on it is smaller, because
+	// coalesced messages share one frame.
+	Frames int64
 }
 
 // Traffic returns cumulative message and byte counts.
@@ -357,6 +407,7 @@ func (p *Platform) Traffic() Traffic {
 	p.protocol(func() error {
 		tr := p.sys.Network().Traffic()
 		out.Messages, out.Bytes = tr.Total()
+		out.Frames = tr.Frames
 		return nil
 	})
 	return out
