@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race live-race chaos node-smoke vet lint bench bench-json bench-qps bench-qps-smoke experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race live-race chaos node-smoke durability-smoke vet lint bench bench-json bench-qps bench-qps-smoke experiments experiments-paper examples clean
 
 all: build vet lint test
 
@@ -66,6 +66,17 @@ chaos:
 node-smoke:
 	$(GO) test -race -count=1 -run TestTwoProcessSmoke ./cmd/lmnode
 	$(GO) run -race ./cmd/lmchaos -procs 4 -objects 1024 -dim 4 -queries 120 -clients 6 -churn 3
+
+# Durable-state smoke (DESIGN.md §14): the WAL/walstore crash-recovery
+# unit tests, then the multi-process soak in durable mode — each lmnode
+# gets a data dir, members are SIGKILLed mid-traffic and restarted on
+# the same address, and every restarted member must report that it
+# recovered its corpus from its WAL (a silent fall-back to corpus
+# regeneration fails the run) before the usual brute-force verification.
+durability-smoke:
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'WAL|Durable' ./internal/core ./internal/runtime/netrt .
+	$(GO) run -race ./cmd/lmchaos -procs 4 -objects 1024 -dim 4 -queries 120 -clients 6 -churn 3 -durable
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...

@@ -32,13 +32,18 @@ func main() {
 	)
 	flag.Parse()
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
+	w := bufio.NewWriter(os.Stdout)
+	// A dropped flush error would truncate the emitted dataset while
+	// still exiting 0; check it.
+	defer func() {
+		if err := w.Flush(); err != nil {
+			fail(err)
+		}
+	}()
 
 	switch *kind {
 	case "synthetic":

@@ -174,7 +174,7 @@ func runBenchmarks(benchRe, benchtime string, count int, pkgs []string) (*Report
 	outBytes, err := cmd.Output()
 	if err != nil {
 		// Benchmark output is still useful for diagnosing the failure.
-		os.Stderr.Write(outBytes)
+		os.Stderr.Write(outBytes) //lint:allow errdrop best-effort diagnostic passthrough; the command failure is already being returned
 		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
 	rep := &Report{Bench: benchRe, Benchtime: benchtime}

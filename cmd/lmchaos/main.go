@@ -56,6 +56,7 @@ func realMain() int {
 		frame    = flag.Float64("framedrop", 0.02, "live-transport frame drop probability")
 		killconn = flag.Float64("killconn", 0.002, "per-frame connection kill probability")
 		procs    = flag.Int("procs", 0, "run the soak over this many real lmnode OS processes instead (SIGKILL churn; see procs.go)")
+		durable  = flag.Bool("durable", false, "with -procs: give each member a data dir; restarted members must recover from their WAL (Recovered=true) or the soak fails")
 		qps      = flag.Float64("qps", 0, "fixed offered load in queries per second across all clients (0 = closed loop)")
 		execs    = flag.Int("executors", 0, "shard index work across this many executors (0/1 = single protocol executor)")
 		batchDly = flag.Duration("batch-delay", 0, "destination-batch flush deadline (0 = batching off)")
@@ -72,6 +73,7 @@ func realMain() int {
 			churn:   *churn,
 			objects: *objects,
 			dim:     *dim,
+			durable: *durable,
 		})
 	}
 

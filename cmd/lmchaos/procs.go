@@ -37,6 +37,7 @@ type procOpts struct {
 	churn   int
 	objects int
 	dim     int
+	durable bool
 }
 
 // ringProc is one lmnode OS process pinned to a ring slot. The slot's
@@ -49,8 +50,9 @@ type ringProc struct {
 // procRing owns the process table. The churn loop replaces entries
 // while query workers read addresses, hence the lock.
 type procRing struct {
-	bin  string
-	args []string // corpus args shared by every member
+	bin      string
+	args     []string // corpus args shared by every member
+	dataDirs []string // per-slot durable dirs, nil when -durable is off
 
 	mu    sync.Mutex
 	procs []*ringProc
@@ -62,7 +64,7 @@ func realProcs(o procOpts) int {
 		fmt.Fprintf(os.Stderr, "lmchaos: %v\n", err)
 		return 2
 	}
-	defer os.RemoveAll(tmp)
+	defer os.RemoveAll(tmp) //lint:allow errdrop best-effort cleanup of the soak's temp dir at exit
 
 	ring := &procRing{
 		bin: filepath.Join(tmp, "lmnode"),
@@ -73,6 +75,12 @@ func realProcs(o procOpts) int {
 			"-dim", strconv.Itoa(o.dim),
 		},
 		procs: make([]*ringProc, o.n),
+	}
+	if o.durable {
+		ring.dataDirs = make([]string, o.n)
+		for i := range ring.dataDirs {
+			ring.dataDirs[i] = filepath.Join(tmp, fmt.Sprintf("data-%d", i))
+		}
 	}
 	defer ring.killAll()
 
@@ -105,15 +113,15 @@ func realProcs(o procOpts) int {
 		if i > 0 {
 			join = addrs[0]
 		}
-		p, err := ring.spawn(addr, join)
+		p, err := ring.spawn(i, addr, join)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lmchaos: start member %d: %v\n", i, err)
 			return 2
 		}
 		ring.set(i, p)
 	}
-	fmt.Printf("lmchaos: %d lmnode processes up (race build: %v), %d objects (dim %d)\n",
-		o.n, raceBuild, o.objects, o.dim)
+	fmt.Printf("lmchaos: %d lmnode processes up (race build: %v, durable: %v), %d objects (dim %d)\n",
+		o.n, raceBuild, o.durable, o.objects, o.dim)
 
 	data := netrt.DataConfig{Metric: "euclid", Seed: o.seed, Objects: o.objects, Dim: o.dim}
 	ds, err := netrt.BuildDataset(data)
@@ -149,13 +157,25 @@ func realProcs(o procOpts) int {
 			fmt.Printf("lmchaos: SIGKILLed member %d (%s)\n", victim, addrs[victim])
 			time.Sleep(500 * time.Millisecond)
 			join := addrs[(victim+1)%o.n]
-			p, err := ring.spawn(addrs[victim], join)
+			p, err := ring.spawn(victim, addrs[victim], join)
 			if err != nil {
 				churnErr <- fmt.Errorf("restart member %d: %w", victim, err)
 				return
 			}
 			ring.set(victim, p)
-			fmt.Printf("lmchaos: restarted member %d on %s\n", victim, addrs[victim])
+			if o.durable {
+				// The restarted member must have come back through the
+				// store path. A silent fall-back to corpus regeneration
+				// would still answer queries correctly — only this check
+				// catches it, so it is a hard failure, not a warning.
+				if err := assertRecovered(addrs[victim], 15*time.Second); err != nil {
+					churnErr <- fmt.Errorf("member %d restarted without WAL recovery: %w", victim, err)
+					return
+				}
+				fmt.Printf("lmchaos: restarted member %d on %s (recovered from WAL)\n", victim, addrs[victim])
+			} else {
+				fmt.Printf("lmchaos: restarted member %d on %s\n", victim, addrs[victim])
+			}
 		}
 	}()
 
@@ -284,11 +304,16 @@ func realProcs(o procOpts) int {
 	return 0
 }
 
-// spawn launches one lmnode on addr and waits for its ready line.
-func (r *procRing) spawn(addr, join string) (*ringProc, error) {
+// spawn launches one lmnode for ring slot i on addr and waits for its
+// ready line. With -durable, the slot's data dir rides along so a
+// restart recovers the member's corpus from its WAL.
+func (r *procRing) spawn(i int, addr, join string) (*ringProc, error) {
 	args := append([]string{"-listen", addr}, r.args...)
 	if join != "" {
 		args = append(args, "-join", join)
+	}
+	if r.dataDirs != nil {
+		args = append(args, "-data-dir", r.dataDirs[i])
 	}
 	cmd := exec.Command(r.bin, args...)
 	cmd.Stderr = os.Stderr
@@ -377,6 +402,28 @@ func dialRetry(addr string, window time.Duration) (*netrt.Client, error) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// assertRecovered dials a freshly restarted member and demands that it
+// reports Recovered=true — its corpus came off its WAL, not from a
+// regeneration fallback.
+func assertRecovered(addr string, window time.Duration) error {
+	cl, err := dialRetry(addr, window)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	info, err := cl.Info(2 * time.Second)
+	if err != nil {
+		return err
+	}
+	if !info.Recovered {
+		return fmt.Errorf("Info reports Recovered=false (store=%d, replayed=%d)", info.Store, info.Replayed)
+	}
+	if info.Replayed == 0 {
+		return fmt.Errorf("Info reports recovery but zero replayed records")
+	}
+	return nil
 }
 
 // waitMembers blocks until the node at addr sees want ring members.

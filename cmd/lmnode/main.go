@@ -16,6 +16,12 @@
 // ID, then serves peer and client connections until SIGINT or SIGTERM.
 // Query it from another process with landmarkdht.DialNode, or run a
 // verified multi-process soak with cmd/lmchaos -procs.
+//
+// With -data-dir the node persists its corpus to a write-ahead log in
+// that directory and a restart recovers from it instead of rebuilding
+// (the ready line reports recovered=true). Each node needs its own
+// directory; a directory written under a different corpus config is a
+// startup error.
 package main
 
 import (
@@ -43,6 +49,7 @@ func realMain() int {
 		dim       = flag.Int("dim", 0, "vector dimensionality (0 = default)")
 		landmarks = flag.Int("landmarks", 0, "landmark count (0 = default)")
 		deadline  = flag.Duration("deadline", 0, "per-query deadline (0 = default)")
+		dataDir   = flag.String("data-dir", "", "durable state directory (restart recovers the corpus from it)")
 		verbose   = flag.Bool("v", false, "log membership and link events")
 	)
 	flag.Parse()
@@ -55,6 +62,7 @@ func realMain() int {
 		Dim:       *dim,
 		Landmarks: *landmarks,
 		Deadline:  *deadline,
+		DataDir:   *dataDir,
 	}
 	for _, j := range strings.Split(*join, ",") {
 		if j = strings.TrimSpace(j); j != "" {
@@ -75,9 +83,11 @@ func realMain() int {
 	defer n.Close()
 
 	// The ready line is the process's contract with parents (tests,
-	// lmchaos -procs): addr is the bound address to join or dial.
-	fmt.Printf("lmnode: ready addr=%s id=%016x metric=%s seed=%d\n",
-		n.Addr(), n.ID(), *metricF, *seed)
+	// lmchaos -procs): addr is the bound address to join or dial, and
+	// recovered tells a restart-supervisor whether the corpus came off
+	// disk (true) or was built fresh (false).
+	fmt.Printf("lmnode: ready addr=%s id=%016x metric=%s seed=%d recovered=%v\n",
+		n.Addr(), n.ID(), *metricF, *seed, n.Recovered())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

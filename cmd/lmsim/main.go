@@ -53,7 +53,7 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
 			return 2
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow errdrop read-back is pprof's; a failed close of the profile costs diagnostics, not data
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
 			return 2
@@ -67,8 +67,8 @@ func realMain() int {
 				fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
 				return
 			}
-			defer f.Close()
-			runtime.GC() // collect garbage so the profile shows live heap
+			defer f.Close() //lint:allow errdrop heap profile is diagnostics; WriteHeapProfile's error is the one that matters and is checked
+			runtime.GC()    // collect garbage so the profile shows live heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "lmsim: %v\n", err)
 			}

@@ -1,0 +1,58 @@
+package landmarkdht
+
+import (
+	"testing"
+)
+
+// A platform with DataDir journals every node's region to disk: the
+// stats must show durable nodes, and searches must behave exactly as
+// on the in-memory default.
+func TestDurablePlatformSearchAndStats(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Options{Nodes: 24, Seed: 1, DataDir: dir, DataSync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(500, 8, 2)
+	ix, err := AddIndex(p, EuclideanSpace("vecs", 8, -100, 200), data, DenseMean,
+		IndexOptions{Landmarks: 3, SampleSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same platform without DataDir: results must match exactly.
+	p2, err := New(Options{Nodes: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := AddIndex(p2, EuclideanSpace("vecs", 8, -100, 200), data, DenseMean,
+		IndexOptions{Landmarks: 3, SampleSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := data[trial*17]
+		got, _, err := ix.RangeSearch(q, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ix2.RangeSearch(q, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("durable platform diverged: %d results vs %d", len(got), len(want))
+		}
+	}
+
+	ds := p.Durability()
+	if ds.DurableNodes != 24 {
+		t.Fatalf("DurableNodes = %d, want 24", ds.DurableNodes)
+	}
+	if ds.LogBytes == 0 {
+		t.Fatal("no journal bytes after indexing 500 objects")
+	}
+	if p2.Durability().DurableNodes != 0 {
+		t.Fatal("in-memory platform reports durable nodes")
+	}
+}

@@ -1,26 +1,34 @@
-// Package errdrop flags discarded error returns on the wire and
-// connection paths. The frame protocol's failure semantics (bounded
-// shedding, credit-based completion, honest incompleteness) all assume
-// that when a write, read, dial, or handshake fails, the caller
-// *notices*: a silently dropped wire error turns "the link died and
-// the overlay will retransmit" into "the frame evaporated and the
-// query hangs until its deadline".
+// Package errdrop flags discarded error returns on the wire,
+// connection, and file-IO paths. The frame protocol's failure
+// semantics (bounded shedding, credit-based completion, honest
+// incompleteness) all assume that when a write, read, dial, or
+// handshake fails, the caller *notices*: a silently dropped wire error
+// turns "the link died and the overlay will retransmit" into "the
+// frame evaporated and the query hangs until its deadline". The
+// durability layer's guarantee is the same shape: a WAL append, fsync,
+// buffered flush, or atomic rename whose error vanishes turns "the
+// record is on disk" into "the record may be gone after the next
+// crash".
 //
-// A call is on the wire path when it is:
+// A call is on a checked I/O path when it is:
 //
 //   - a function of the wire package (frame encode/decode, ReadFrame),
 //   - a method of a net type (Conn.Read/Write/Close, the deadline
 //     setters, Listener.Accept) or a package-level net dial/listen,
+//   - a write-side os.File method (Write, Sync, Close, Truncate, ...),
+//     a bufio.Writer flush/write, or a package-level os file
+//     operation (Create, OpenFile, Rename, Remove, ...),
 //   - a same-package function that transitively performs one of the
 //     above AND returns an error — the call-graph summary that makes
-//     local wrappers like writeFrame or dialHandshake first-class wire
+//     local wrappers like writeFrame or dialHandshake first-class I/O
 //     calls. (A wrapper that swallows the error internally is flagged
 //     at the swallowing site, not at its callers.)
 //
 // Discarding means calling as a bare statement (including `go` and
 // `defer`) or assigning the error result to the blank identifier.
 // Sites where dropping is the design (best-effort teardown of a
-// connection that is already being abandoned) carry an explicit
+// connection that is already being abandoned, cleanup of a temp file
+// after the real failure is already reported) carry an explicit
 // //lint:allow errdrop <reason>.
 package errdrop
 
@@ -31,11 +39,12 @@ import (
 	"landmarkdht/internal/analysis"
 )
 
-// Analyzer flags discarded errors from wire/conn-path calls.
+// Analyzer flags discarded errors from wire/conn/file-path calls.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
-	Doc: "forbid discarding error returns on wire/conn paths (wire encode/decode, " +
-		"Conn read/write/close, dial, handshake, and local wrappers around them); annotate intentional drops with //lint:allow errdrop <reason>",
+	Doc: "forbid discarding error returns on wire/conn/file-IO paths (wire encode/decode, " +
+		"Conn read/write/close, dial, handshake, os.File write/sync/close, bufio flushes, " +
+		"and local wrappers around them); annotate intentional drops with //lint:allow errdrop <reason>",
 	Run: run,
 }
 
@@ -52,6 +61,31 @@ var netFuncs = map[string]bool{
 	"Dial": true, "DialTimeout": true, "DialIP": true, "DialTCP": true,
 	"DialUDP": true, "DialUnix": true, "Listen": true, "ListenIP": true,
 	"ListenTCP": true, "ListenUDP": true, "ListenUnix": true, "ListenPacket": true,
+}
+
+// fileMethods are the os.File methods whose errors the durability
+// layer depends on: the write side, the flush side, and teardown.
+// (Reads surface their failures through short reads and decode errors,
+// so they are left to the callers' own checks.)
+var fileMethods = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteString": true,
+	"Sync": true, "Close": true, "Truncate": true,
+}
+
+// bufioMethods are the bufio.Writer methods that buffer or flush
+// journal bytes: a dropped flush error means acknowledged records that
+// never reached the file.
+var bufioMethods = map[string]bool{
+	"Flush": true, "Write": true, "WriteString": true, "WriteByte": true,
+}
+
+// osFuncs are the package-level os file operations on the durability
+// path — in particular Rename, which the snapshot protocol relies on
+// for atomic replacement.
+var osFuncs = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "Truncate": true, "WriteFile": true,
 }
 
 func run(pass *analysis.Pass) {
@@ -151,7 +185,7 @@ func wireCall(pass *analysis.Pass, g *analysis.CallGraph, call *ast.CallExpr, wr
 	case *ast.Ident:
 		if wrappers != nil {
 			if n := g.NodeOf(pass.Info.Uses[fun]); n != nil && wrappers[n] {
-				return n.Name() + " (wire/conn path)", true
+				return n.Name() + " (wire/conn/file path)", true
 			}
 		}
 	case *ast.SelectorExpr:
@@ -162,6 +196,9 @@ func wireCall(pass *analysis.Pass, g *analysis.CallGraph, call *ast.CallExpr, wr
 			if path == "net" && netFuncs[name] {
 				return "net." + name, true
 			}
+			if path == "os" && osFuncs[name] {
+				return "os." + name, true
+			}
 			return "", false
 		}
 		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
@@ -171,9 +208,15 @@ func wireCall(pass *analysis.Pass, g *analysis.CallGraph, call *ast.CallExpr, wr
 		if fn.Pkg().Path() == "net" && netMethods[fn.Name()] {
 			return "net." + recvName(fn) + "." + fn.Name(), true
 		}
+		if fn.Pkg().Path() == "os" && recvName(fn) == "File" && fileMethods[fn.Name()] {
+			return "os.File." + fn.Name(), true
+		}
+		if fn.Pkg().Path() == "bufio" && recvName(fn) == "Writer" && bufioMethods[fn.Name()] {
+			return "bufio.Writer." + fn.Name(), true
+		}
 		if wrappers != nil {
 			if n := g.NodeOf(fn); n != nil && wrappers[n] {
-				return n.Name() + " (wire/conn path)", true
+				return n.Name() + " (wire/conn/file path)", true
 			}
 		}
 	}

@@ -1,10 +1,12 @@
-// Fixture for the errdrop analyzer: discarded error returns on wire
-// and connection paths are diagnostics; checked errors, non-wire
-// calls, and annotated best-effort drops are not.
+// Fixture for the errdrop analyzer: discarded error returns on wire,
+// connection, and file-IO paths are diagnostics; checked errors,
+// non-I/O calls, and annotated best-effort drops are not.
 package conn
 
 import (
+	"bufio"
 	"net"
+	"os"
 
 	"wire"
 )
@@ -48,11 +50,11 @@ func sendLoop(c net.Conn, frames [][]byte) error {
 }
 
 func viaWrapper(c net.Conn, b []byte) {
-	writeFrame(c, b) // want "dropped error from writeFrame .wire/conn path."
+	writeFrame(c, b) // want "dropped error from writeFrame .wire/conn/file path."
 }
 
 func viaWrapperOfWrapper(c net.Conn, frames [][]byte) {
-	sendLoop(c, frames) // want "dropped error from sendLoop .wire/conn path."
+	sendLoop(c, frames) // want "dropped error from sendLoop .wire/conn/file path."
 }
 
 type peer struct{ c net.Conn }
@@ -60,7 +62,7 @@ type peer struct{ c net.Conn }
 func (p *peer) send(b []byte) error { return writeFrame(p.c, b) }
 
 func methodWrapper(p *peer, b []byte) {
-	p.send(b) // want "dropped error from peer.send .wire/conn path."
+	p.send(b) // want "dropped error from peer.send .wire/conn/file path."
 }
 
 // checked handles every wire error: silent.
@@ -83,4 +85,53 @@ func viaSwallow(c net.Conn, b []byte) {
 
 func allowed(c net.Conn) {
 	_ = c.Close() //lint:allow errdrop best-effort teardown of an abandoned conn
+}
+
+// ---- file-IO paths (the durability layer's failure semantics) ----
+
+func fileOps(f *os.File, b []byte) {
+	f.Write(b)      // want "dropped error from os.File.Write .return value discarded."
+	_ = f.Sync()    // want "dropped error from os.File.Sync .assigned to _."
+	defer f.Close() // want "dropped error from os.File.Close .error lost in deferred call."
+}
+
+func renameBlank(a, b string) {
+	_ = os.Rename(a, b) // want "dropped error from os.Rename .assigned to _."
+}
+
+func createBlank(path string) {
+	f, _ := os.Create(path) // want "dropped error from os.Create .assigned to _."
+	_ = f
+}
+
+func flushes(w *bufio.Writer, b []byte) {
+	w.Write(b) // want "dropped error from bufio.Writer.Write .return value discarded."
+	w.Flush()  // want "dropped error from bufio.Writer.Flush .return value discarded."
+}
+
+// syncAll performs file I/O and hands the error back: its callers are
+// on the checked path too, exactly like wire wrappers.
+func syncAll(f *os.File) error { return f.Sync() }
+
+func viaSyncAll(f *os.File) {
+	syncAll(f) // want "dropped error from syncAll .wire/conn/file path."
+}
+
+// fileChecked handles every file error: silent.
+func fileChecked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fileAllowed(f *os.File) {
+	_ = f.Close() //lint:allow errdrop read-only file; close cannot lose data
+}
+
+// Read-side file methods stay unflagged: short reads and decode errors
+// surface failures on their own.
+func fileReads(f *os.File, b []byte) {
+	f.Read(b)
+	f.Seek(0, 0)
 }

@@ -24,8 +24,8 @@ func TestCrashDuringQueries(t *testing.T) {
 		f.eng.Schedule(at, func() {
 			nodes := f.sys.Nodes()
 			victim := nodes[rng.Intn(len(nodes))]
-			for _, st := range victim.stores {
-				for _, e := range st.entries {
+			for _, entries := range victim.Snapshot() {
+				for _, e := range entries {
 					crashed[e.Obj] = true
 				}
 			}

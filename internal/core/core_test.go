@@ -277,9 +277,9 @@ func TestBulkLoadOwnership(t *testing.T) {
 	f := buildFixture(t, 32, 1000, 3, true)
 	// Every stored entry must live on the oracle successor of its key.
 	for _, in := range f.sys.Nodes() {
-		for name, st := range in.stores {
-			_ = name
-			for _, key := range st.keys {
+		for _, name := range in.st.Indexes() {
+			keys, _ := in.st.RegionSnapshot(name)
+			for _, key := range keys {
 				owner, err := f.sys.net.SuccessorNode(key)
 				if err != nil {
 					t.Fatal(err)
@@ -470,8 +470,9 @@ func TestLoadBalancingConservesAndStaysCorrect(t *testing.T) {
 	}
 	// Entries still live on their oracle owners.
 	for _, in := range f.sys.Nodes() {
-		for _, st := range in.stores {
-			for _, key := range st.keys {
+		for _, name := range in.st.Indexes() {
+			keys, _ := in.st.RegionSnapshot(name)
+			for _, key := range keys {
 				owner, _ := f.sys.net.SuccessorNode(key)
 				if owner.ID() != in.ID() {
 					t.Fatalf("post-LB entry misplaced: key %#x on %#x, owner %#x", key, in.ID(), owner.ID())
@@ -565,23 +566,31 @@ func TestRotationDecorrelatesHotspots(t *testing.T) {
 }
 
 func TestStoreMedianAndExtract(t *testing.T) {
-	st := &store{}
+	st := NewMemStore()
 	base := lph.Key(1000)
+	var allKeys []lph.Key
 	for i := 0; i < 10; i++ {
-		st.add(base+lph.Key(i*10), Entry{Obj: ObjectID(i)})
+		k := base + lph.Key(i*10)
+		allKeys = append(allKeys, k)
+		if err := st.Put("ix", k, Entry{Obj: ObjectID(i)}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	split, ok := st.medianKey(base)
+	split, ok := medianOffsetKey(allKeys, base)
 	if !ok {
 		t.Fatal("median not found")
 	}
-	keys, entries := st.extractUpTo(base, split)
+	keys, entries, err := st.ExtractUpTo("ix", base, split)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(keys) == 0 || len(keys) == 10 {
 		t.Fatalf("extract took %d of 10", len(keys))
 	}
 	if len(keys) != len(entries) {
 		t.Fatal("keys/entries length mismatch")
 	}
-	if st.size()+len(entries) != 10 {
+	if st.Size("ix")+len(entries) != 10 {
 		t.Fatal("entries lost in extraction")
 	}
 	for _, k := range keys {
@@ -589,19 +598,21 @@ func TestStoreMedianAndExtract(t *testing.T) {
 			t.Fatalf("extracted key %#x beyond split %#x", k, split)
 		}
 	}
-	for _, k := range st.keys {
-		if k-base <= split-base {
-			t.Fatalf("retained key %#x at or below split", k)
+	st.View("ix", func(kept []lph.Key, _ []Entry) {
+		for _, k := range kept {
+			if k-base <= split-base {
+				t.Fatalf("retained key %#x at or below split", k)
+			}
 		}
-	}
+	})
 }
 
 func TestStoreSingleKeyUnsplittable(t *testing.T) {
-	st := &store{}
-	for i := 0; i < 10; i++ {
-		st.add(777, Entry{Obj: ObjectID(i)})
+	keys := make([]lph.Key, 10)
+	for i := range keys {
+		keys[i] = 777
 	}
-	if _, ok := st.medianKey(0); ok {
-		t.Fatal("single-key store must be unsplittable (§4.3)")
+	if _, ok := medianOffsetKey(keys, 0); ok {
+		t.Fatal("single-key load must be unsplittable (§4.3)")
 	}
 }

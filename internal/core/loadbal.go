@@ -215,100 +215,112 @@ func (lb *lbController) migrate(heavy, light *IndexNode) {
 	light.migrating = true
 	lb.Migrations++
 
-	// 1. The light node leaves: its entries drain to the nodes now
-	// covering them (its successor) after a transfer delay.
+	// 1. The light node drains its regions and streams them in bulk to
+	// its ring successor — the node that will own them once it leaves —
+	// while it is still alive to drive the stream (chunk
+	// acknowledgements return to it). Queries during the stream can
+	// miss the in-flight entries: the paper's recall dip under load
+	// balancing.
 	type batch struct {
 		keys    []lph.Key
 		entries []Entry
 	}
 	oldID, host := light.ID(), light.node.Host()
-	drainOrder := sortedStoreNames(light.stores)
+	drainOrder := light.st.Indexes()
 	drained := make(map[string]batch)
-	var lightEntries int
 	for _, name := range drainOrder {
-		keys, entries := light.stores[name].drain()
-		lightEntries += len(entries)
+		keys, entries, err := light.st.Drain(name)
+		s.noteStoreErr(err)
 		drained[name] = batch{keys, entries}
 	}
-	if err := s.net.RemoveNode(oldID); err != nil {
-		heavy.migrating = false
-		return
-	}
-	delete(s.nodes, oldID)
-	s.net.FixAround(oldID)
-
-	// 2. The light node rejoins at the split point.
-	fresh, err := s.AddNode(split, host)
-	if err != nil {
-		// Should not happen (collision checked above); re-park the
-		// drained entries at their owners to avoid loss.
+	succ, err := s.net.SuccessorID(oldID + 1)
+	if err != nil || succ == oldID {
+		// No successor to hand over to; unwind.
 		for _, name := range drainOrder {
 			b := drained[name]
 			s.reinsert(name, b.keys, b.entries)
 		}
 		heavy.migrating = false
+		light.migrating = false
+		lb.Aborted++
 		return
 	}
-	fresh.migrating = true
-	s.net.FixAround(split)
 
-	// Light node's old entries arrive at their new owners after the
-	// transfer delay.
-	transferDelay := func(n int) time.Duration {
-		bytes := s.cfg.Msg.TransferBytes(n)
-		return time.Duration(float64(time.Second) * float64(bytes) / s.cfg.TransferBytesPerSec)
+	// 2. Once every stream has finished, the light node departs and
+	// rejoins at the split point, and the heavy node streams its lower
+	// half over to it.
+	rejoin := func() {
+		if err := s.net.RemoveNode(oldID); err != nil {
+			heavy.migrating = false
+			light.migrating = false
+			return
+		}
+		s.ForgetNode(oldID)
+		s.net.FixAround(oldID)
+		if s.net.Node(split) != nil {
+			// The split point was taken while the handoff streamed; the
+			// light node's entries are safe at its successor, but the
+			// rejoin cannot happen.
+			heavy.migrating = false
+			lb.Aborted++
+			return
+		}
+		fresh, err := s.AddNode(split, host)
+		if err != nil {
+			heavy.migrating = false
+			return
+		}
+		fresh.migrating = true
+		s.net.FixAround(split)
+
+		// 3. The heavy node ships its lower half to the fresh node as
+		// bulk streams; both participants become eligible again once
+		// the last stream completes.
+		names := heavy.st.Indexes()
+		pending := len(names) + 1
+		settle := func() {
+			pending--
+			if pending == 0 {
+				heavy.migrating = false
+				fresh.migrating = false
+			}
+		}
+		for _, name := range names {
+			keys, entries, err := heavy.st.ExtractUpTo(name, base, split)
+			s.noteStoreErr(err)
+			s.streamRegion(heavy, fresh.ID(), name, keys, entries, settle)
+		}
+		settle()
+
+		// The fresh node participates in probing from now on.
+		offset := time.Duration(s.rt.Rand().Int63n(int64(lb.cfg.Period)))
+		t := runtime.NewTicker(s.rt, offset, lb.cfg.Period, func() { lb.tick(fresh) })
+		lb.tickers = append(lb.tickers, t)
+	}
+
+	pending := len(drainOrder) + 1
+	handoff := func() {
+		pending--
+		if pending == 0 {
+			rejoin()
+		}
 	}
 	for _, name := range drainOrder {
-		name, keys, entries := name, drained[name].keys, drained[name].entries
-		s.chargeTransfer(len(entries))
-		s.rt.Schedule(transferDelay(len(entries)), func() {
-			s.reinsert(name, keys, entries)
-		})
+		b := drained[name]
+		s.streamRegion(light, succ, name, b.keys, b.entries, handoff)
 	}
-
-	// 3. The heavy node ships its lower half to the fresh node.
-	var movedTotal int
-	for _, name := range sortedStoreNames(heavy.stores) {
-		keys, entries := heavy.stores[name].extractUpTo(base, split)
-		movedTotal += len(entries)
-		if len(entries) == 0 {
-			continue
-		}
-		name, keys, entries := name, keys, entries
-		s.chargeTransfer(len(entries))
-		s.rt.Schedule(transferDelay(len(entries)), func() {
-			s.reinsert(name, keys, entries)
-		})
-	}
-	// Both participants become eligible again once the transfers have
-	// landed.
-	s.rt.Schedule(transferDelay(movedTotal+lightEntries)+time.Millisecond, func() {
-		heavy.migrating = false
-		fresh.migrating = false
-	})
-
-	// The fresh node participates in probing from now on.
-	offset := time.Duration(s.rt.Rand().Int63n(int64(lb.cfg.Period)))
-	t := runtime.NewTicker(s.rt, offset, lb.cfg.Period, func() { lb.tick(fresh) })
-	lb.tickers = append(lb.tickers, t)
+	handoff()
 }
 
-// chargeTransfer accounts a migration transfer message.
-func (s *System) chargeTransfer(entries int) {
-	if entries > 0 {
-		s.net.RecordTraffic(chord.KindTransfer, s.cfg.Msg.TransferBytes(entries))
-	}
-}
-
-// combinedMedian computes a split key over all of a node's stores.
+// combinedMedian computes a split key over all of a node's regions.
 func combinedMedian(in *IndexNode, base lph.Key) (lph.Key, bool) {
-	merged := &store{}
-	for _, name := range sortedStoreNames(in.stores) {
-		st := in.stores[name]
-		merged.keys = append(merged.keys, st.keys...)
-		merged.entries = append(merged.entries, st.entries...)
+	var merged []lph.Key
+	for _, name := range in.st.Indexes() {
+		in.st.View(name, func(keys []lph.Key, _ []Entry) {
+			merged = append(merged, keys...)
+		})
 	}
-	return merged.medianKey(base)
+	return medianOffsetKey(merged, base)
 }
 
 // JoinAtHotspot implements the first §3.4 migration mechanism: a
@@ -339,9 +351,13 @@ func (s *System) JoinAtHotspot(host int) (*IndexNode, error) {
 		return nil, err
 	}
 	s.net.FixAround(split)
-	for _, name := range sortedStoreNames(heavy.stores) {
-		keys, entries := heavy.stores[name].extractUpTo(base, split)
-		fresh.store(name).addAll(keys, entries)
+	for _, name := range heavy.st.Indexes() {
+		keys, entries, err := heavy.st.ExtractUpTo(name, base, split)
+		s.noteStoreErr(err)
+		s.noteStoreErr(fresh.st.PutBatch(name, keys, entries))
+		// The handover between ring neighbors is synchronous here, but
+		// it is priced as the bulk stream it would be on a real wire.
+		s.accountBulk(name, keys, entries)
 	}
 	return fresh, nil
 }

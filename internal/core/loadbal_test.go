@@ -52,13 +52,14 @@ func TestNoMigrationWhenBalanced(t *testing.T) {
 	f := buildFixture(t, 16, 100, 2, false)
 	// Rebuild stores so every node holds exactly the same count.
 	for _, in := range f.sys.Nodes() {
-		in.stores = map[string]*store{}
+		in.st = NewMemStore()
 	}
 	for i, in := range f.sys.Nodes() {
-		st := in.store("test-l2")
 		pred, _ := in.node.Predecessor()
 		for j := 0; j < 10; j++ {
-			st.add(pred+1+uint64(j), Entry{Obj: ObjectID(i*10 + j), Point: []float64{0, 0}})
+			if err := in.st.Put("test-l2", pred+1+uint64(j), Entry{Obj: ObjectID(i*10 + j), Point: []float64{0, 0}}); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := f.sys.EnableLoadBalancing(LBConfig{Delta: 0.1, ProbeLevel: 4, Period: time.Second}); err != nil {
@@ -110,10 +111,11 @@ func TestSingleKeyMigrationAborts(t *testing.T) {
 	f := buildFixture(t, 16, 100, 2, false)
 	// Pile a single-key hotspot onto one node.
 	in := f.sys.Nodes()[3]
-	st := in.store("test-l2")
 	key := in.ID() // a key this node owns
 	for j := 0; j < 5000; j++ {
-		st.add(key, Entry{Obj: ObjectID(100000 + j), Point: []float64{0, 0}})
+		if err := in.st.Put("test-l2", key, Entry{Obj: ObjectID(100000 + j), Point: []float64{0, 0}}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := f.sys.EnableLoadBalancing(LBConfig{Delta: 0, ProbeLevel: 4, Period: time.Second}); err != nil {
 		t.Fatal(err)
@@ -136,12 +138,13 @@ func TestJoinAtHotspotUnsplittable(t *testing.T) {
 	f := buildFixture(t, 8, 10, 2, false)
 	// Wipe all stores, leave one single-key pile.
 	for _, in := range f.sys.Nodes() {
-		in.stores = map[string]*store{}
+		in.st = NewMemStore()
 	}
 	in := f.sys.Nodes()[0]
-	st := in.store("test-l2")
 	for j := 0; j < 100; j++ {
-		st.add(in.ID(), Entry{Obj: ObjectID(j), Point: []float64{0, 0}})
+		if err := in.st.Put("test-l2", in.ID(), Entry{Obj: ObjectID(j), Point: []float64{0, 0}}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if _, err := f.sys.JoinAtHotspot(0); err == nil {
 		t.Fatal("expected unsplittable-hotspot error")

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/query"
+)
+
+// region holds one index scheme's entries on one node. Entries are
+// kept with their ring keys so load migration can split a node's
+// range; the slice is unsorted between migrations (queries scan it
+// linearly — per-node entry counts are small by design).
+type region struct {
+	keys    []lph.Key // ring (rotated) key of each entry
+	entries []Entry
+}
+
+func (s *region) add(ringKey lph.Key, e Entry) {
+	s.keys = append(s.keys, ringKey)
+	s.entries = append(s.entries, e)
+}
+
+func (s *region) size() int { return len(s.entries) }
+
+// scanAppend appends the entries whose index points fall inside the
+// region's cube to buf and returns it (the zero-allocation hot path).
+func (s *region) scanAppend(r query.Region, buf []Entry) []Entry {
+	for i := range s.entries {
+		if r.Contains(s.entries[i].Point) {
+			buf = append(buf, s.entries[i])
+		}
+	}
+	return buf
+}
+
+// extractUpTo removes and returns all entries whose ring key lies in
+// (base-1, split], i.e. the lower half of the owner's range after a
+// split at `split`. base is pred+1 (the start of the owner's range).
+func (s *region) extractUpTo(base, split lph.Key) ([]lph.Key, []Entry) {
+	span := split - base // inclusive span length - 1
+	var outK []lph.Key
+	var outE []Entry
+	keepK := s.keys[:0]
+	keepE := s.entries[:0]
+	for i, k := range s.keys {
+		if k-base <= span {
+			outK = append(outK, k)
+			outE = append(outE, s.entries[i])
+		} else {
+			keepK = append(keepK, k)
+			keepE = append(keepE, s.entries[i])
+		}
+	}
+	s.keys = keepK
+	s.entries = keepE
+	return outK, outE
+}
+
+// drain removes and returns everything.
+func (s *region) drain() ([]lph.Key, []Entry) {
+	k, e := s.keys, s.entries
+	s.keys, s.entries = nil, nil
+	return k, e
+}
+
+// MemStore is the in-memory Store — the default backend, equivalent to
+// the pre-Store behavior and what the paper's simulations assume. Its
+// mutating methods never fail.
+type MemStore struct {
+	regions map[string]*region
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{regions: make(map[string]*region)}
+}
+
+// region returns (creating on demand) the region for an index scheme.
+func (m *MemStore) region(index string) *region {
+	st, ok := m.regions[index]
+	if !ok {
+		st = &region{}
+		m.regions[index] = st
+	}
+	return st
+}
+
+// Put implements Store.
+func (m *MemStore) Put(index string, key lph.Key, e Entry) error {
+	m.region(index).add(key, e)
+	return nil
+}
+
+// PutBatch implements Store.
+func (m *MemStore) PutBatch(index string, keys []lph.Key, entries []Entry) error {
+	st := m.region(index)
+	st.keys = append(st.keys, keys...)
+	st.entries = append(st.entries, entries...)
+	return nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(index string, key lph.Key, obj ObjectID) (bool, error) {
+	st, ok := m.regions[index]
+	if !ok {
+		return false, nil
+	}
+	for i, k := range st.keys {
+		if k == key && st.entries[i].Obj == obj {
+			last := len(st.keys) - 1
+			st.keys[i] = st.keys[last]
+			st.entries[i] = st.entries[last]
+			st.keys = st.keys[:last]
+			st.entries = st.entries[:last]
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Scan implements Store.
+func (m *MemStore) Scan(index string, r query.Region, buf []Entry) []Entry {
+	st, ok := m.regions[index]
+	if !ok {
+		return buf
+	}
+	return st.scanAppend(r, buf)
+}
+
+// Size implements Store.
+func (m *MemStore) Size(index string) int {
+	if st, ok := m.regions[index]; ok {
+		return st.size()
+	}
+	return 0
+}
+
+// TotalSize implements Store.
+func (m *MemStore) TotalSize() int {
+	total := 0
+	for _, st := range m.regions {
+		total += st.size()
+	}
+	return total
+}
+
+// Indexes implements Store: scheme names in sorted order, the
+// deterministic way to iterate the region map — transfer and migration
+// batches must leave in the same order on every run of a seed.
+func (m *MemStore) Indexes() []string {
+	names := make([]string, 0, len(m.regions))
+	for name := range m.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// View implements Store.
+func (m *MemStore) View(index string, fn func(keys []lph.Key, entries []Entry)) {
+	if st, ok := m.regions[index]; ok {
+		fn(st.keys, st.entries)
+	}
+}
+
+// RegionSnapshot implements Store.
+func (m *MemStore) RegionSnapshot(index string) ([]lph.Key, []Entry) {
+	st, ok := m.regions[index]
+	if !ok || st.size() == 0 {
+		return nil, nil
+	}
+	return append([]lph.Key(nil), st.keys...), append([]Entry(nil), st.entries...)
+}
+
+// ApplyRegion implements Store.
+func (m *MemStore) ApplyRegion(index string, keys []lph.Key, entries []Entry) error {
+	if len(keys) == 0 {
+		delete(m.regions, index)
+		return nil
+	}
+	st := m.region(index)
+	st.keys = append(st.keys[:0], keys...)
+	st.entries = append(st.entries[:0], entries...)
+	return nil
+}
+
+// ExtractUpTo implements Store.
+func (m *MemStore) ExtractUpTo(index string, base, split lph.Key) ([]lph.Key, []Entry, error) {
+	st, ok := m.regions[index]
+	if !ok {
+		return nil, nil, nil
+	}
+	k, e := st.extractUpTo(base, split)
+	return k, e, nil
+}
+
+// Drain implements Store.
+func (m *MemStore) Drain(index string) ([]lph.Key, []Entry, error) {
+	st, ok := m.regions[index]
+	if !ok {
+		return nil, nil, nil
+	}
+	k, e := st.drain()
+	return k, e, nil
+}
+
+// DropIndex implements Store.
+func (m *MemStore) DropIndex(index string) error {
+	delete(m.regions, index)
+	return nil
+}
+
+// Close implements Store (no resources to release).
+func (m *MemStore) Close() error { return nil }

@@ -85,30 +85,30 @@ func (s *System) repairIndex(indexName string, replicas int) {
 	have := make(map[chord.ID]map[kobj]bool)
 	nodes := s.Nodes()
 	for _, in := range nodes {
-		st, ok := in.stores[indexName]
-		if !ok {
-			continue
-		}
-		h := make(map[kobj]bool, len(st.keys))
-		for i, key := range st.keys {
-			ko := kobj{key, st.entries[i].Obj}
-			h[ko] = true
-			if !seen[ko] {
-				seen[ko] = true
-				keys = append(keys, key)
-				entries = append(entries, st.entries[i])
+		var h map[kobj]bool
+		in.st.View(indexName, func(ks []lph.Key, es []Entry) {
+			h = make(map[kobj]bool, len(ks))
+			for i, key := range ks {
+				ko := kobj{key, es[i].Obj}
+				h[ko] = true
+				if !seen[ko] {
+					seen[ko] = true
+					keys = append(keys, key)
+					entries = append(entries, es[i])
+				}
 			}
+		})
+		if h == nil {
+			continue
 		}
 		have[in.ID()] = h
 	}
 	desired := make(map[chord.ID][]int) // node -> indices into keys/entries
-	added := 0
 	for i, key := range keys {
 		owner, err := s.net.SuccessorNode(key)
 		if err != nil {
 			continue // empty ring: nowhere to place
 		}
-		ko := kobj{key, entries[i].Obj}
 		placed := map[chord.ID]bool{owner.ID(): true}
 		targets := []chord.ID{owner.ID()}
 		for _, succ := range owner.SuccessorList() {
@@ -123,25 +123,35 @@ func (s *System) repairIndex(indexName string, replicas int) {
 		}
 		for _, t := range targets {
 			desired[t] = append(desired[t], i)
-			if !have[t][ko] {
-				added++
-			}
 		}
 	}
+	wantK := make([]lph.Key, 0, 64)
+	wantE := make([]Entry, 0, 64)
+	addK := make([]lph.Key, 0, 64)
+	addE := make([]Entry, 0, 64)
 	for _, in := range nodes {
 		want := desired[in.ID()]
 		if len(want) == 0 {
-			delete(in.stores, indexName)
+			s.noteStoreErr(in.st.DropIndex(indexName))
 			continue
 		}
-		st := in.store(indexName)
-		st.keys = st.keys[:0]
-		st.entries = st.entries[:0]
+		h := have[in.ID()]
+		wantK, wantE = wantK[:0], wantE[:0]
+		addK, addE = addK[:0], addE[:0]
 		for _, i := range want {
-			st.add(keys[i], entries[i])
+			wantK = append(wantK, keys[i])
+			wantE = append(wantE, entries[i])
+			if !h[kobj{keys[i], entries[i].Obj}] {
+				addK = append(addK, keys[i])
+				addE = append(addE, entries[i])
+			}
 		}
+		s.noteStoreErr(in.st.ApplyRegion(indexName, wantK, wantE))
+		// The copies this node gained travelled from a replica holder:
+		// price them as one bulk stream per destination rather than an
+		// entry-at-a-time republication.
+		s.accountBulk(indexName, addK, addE)
 	}
-	s.chargeTransfer(added)
 }
 
 // EnableLoadBalancing is extended to refuse replicated deployments —
@@ -152,11 +162,18 @@ func (s *System) repairIndex(indexName string, replicas int) {
 // does not own (i.e. a replica copy).
 func (s *System) hasReplicas() bool {
 	for _, in := range s.nodes {
-		for _, st := range in.stores {
-			for _, key := range st.keys {
-				if !in.node.OwnsKey(key) {
-					return true
+		found := false
+		for _, name := range in.st.Indexes() {
+			in.st.View(name, func(keys []lph.Key, _ []Entry) {
+				for _, key := range keys {
+					if !in.node.OwnsKey(key) {
+						found = true
+						return
+					}
 				}
+			})
+			if found {
+				return true
 			}
 		}
 	}

@@ -18,8 +18,9 @@ func TestReplicateAllPlacesCopies(t *testing.T) {
 	// owner: every stored key is owned by this node or by one of its
 	// at-most-2 predecessors-by-ownership.
 	for _, in := range f.sys.Nodes() {
-		for _, st := range in.stores {
-			for _, key := range st.keys {
+		for _, name := range in.st.Indexes() {
+			keys, _ := in.st.RegionSnapshot(name)
+			for _, key := range keys {
 				if in.node.OwnsKey(key) {
 					continue
 				}

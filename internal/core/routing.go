@@ -754,18 +754,17 @@ func (s *System) answerLocal(n *IndexNode, aq *activeQuery, q query.Region, hops
 		var local []Result
 		var ncands int
 		s.shard.ExecShard(uint64(n.node.ID()), func() {
-			n.scanBuf = n.store(aq.ix.Name).scanAppend(q, n.scanBuf[:0])
+			n.scanBuf = n.st.Scan(aq.ix.Name, q, n.scanBuf[:0])
 			local, ncands = refineLocal(aq, n.scanBuf)
 		}, func() {
 			s.answerDone(n, aq, q, hops, tok, local, ncands)
 		})
 		return
 	}
-	st := n.store(aq.ix.Name)
 	// Scan into the system-wide scratch buffer: the candidate list is
 	// fully consumed below before any other scan can run (the engine is
 	// single-threaded and Dist callbacks never re-enter the system).
-	s.scanBuf = st.scanAppend(q, s.scanBuf[:0])
+	s.scanBuf = n.st.Scan(aq.ix.Name, q, s.scanBuf[:0])
 	local, ncands := refineLocal(aq, s.scanBuf)
 	s.answerDone(n, aq, q, hops, tok, local, ncands)
 }

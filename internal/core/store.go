@@ -7,56 +7,114 @@ import (
 	"landmarkdht/internal/query"
 )
 
-// store holds one node's index entries for one index scheme. Entries
-// are kept with their ring keys so load migration can split a node's
-// range; the slice is unsorted between migrations (queries scan it
-// linearly — per-node entry counts are small by design).
-type store struct {
-	keys    []lph.Key // ring (rotated) key of each entry
-	entries []Entry
+// Store is a node's local storage backend: every index entry the node
+// is responsible for, per index scheme, keyed by ring key. The system
+// talks only to this interface, so the backend is pluggable — the
+// in-memory memstore (NewMemStore, the default, what the paper's
+// simulations assume) or the durable walstore (NewWALStore), which
+// journals every mutation to a write-ahead log and recovers the
+// region after a process restart.
+//
+// Stores are NOT concurrency-safe: like the rest of the protocol
+// state, a store belongs to a single executor (the protocol executor,
+// or the node's shard executor under runtime.Sharder) and is only
+// touched from it.
+//
+// Mutating methods return an error so a durable backend can surface a
+// failed journal write; memstore never fails. On error the in-memory
+// state still reflects the mutation (reads stay coherent within the
+// process), but durability of that mutation is not guaranteed — the
+// system counts these in System.StoreErrors rather than silently
+// dropping them.
+type Store interface {
+	// Put appends one entry under an index scheme.
+	Put(index string, key lph.Key, e Entry) error
+	// PutBatch appends a batch (bulk load, migration arrivals).
+	PutBatch(index string, keys []lph.Key, entries []Entry) error
+	// Delete removes the first entry matching (key, obj), reporting
+	// whether one existed.
+	Delete(index string, key lph.Key, obj ObjectID) (bool, error)
+
+	// Scan appends the entries of one index whose points fall inside
+	// the region's cube to buf and returns it. Hot callers pass a
+	// reusable buffer (buf[:0]) — the scan must not allocate when the
+	// buffer has capacity, and the result must be fully consumed
+	// before the buffer is reused.
+	Scan(index string, r query.Region, buf []Entry) []Entry
+	// Size returns one index's entry count; TotalSize sums all indexes
+	// (the paper's load measure).
+	Size(index string) int
+	TotalSize() int
+	// Indexes returns the index schemes present, sorted — the
+	// deterministic iteration order for migration and repair.
+	Indexes() []string
+	// View passes the index's backing slices to fn for read-only
+	// inspection without copying. The slices are borrowed: fn must not
+	// retain or mutate them.
+	View(index string, fn func(keys []lph.Key, entries []Entry))
+
+	// RegionSnapshot copies out one index's full contents — the unit of
+	// bulk region transfer and of crash-time republication.
+	RegionSnapshot(index string) ([]lph.Key, []Entry)
+	// ApplyRegion replaces one index's contents wholesale (the receive
+	// side of bulk transfer and replica repair). Empty input clears the
+	// index.
+	ApplyRegion(index string, keys []lph.Key, entries []Entry) error
+
+	// ExtractUpTo removes and returns the entries whose ring key lies
+	// in (base-1, split] — the lower half of the owner's range after a
+	// load split. Drain removes and returns everything in one index.
+	ExtractUpTo(index string, base, split lph.Key) ([]lph.Key, []Entry, error)
+	Drain(index string) ([]lph.Key, []Entry, error)
+	// DropIndex discards one index entirely (scheme undeployment).
+	DropIndex(index string) error
+
+	// Close releases backend resources (flushes and closes a WAL). The
+	// store must not be used afterwards.
+	Close() error
 }
 
-// add appends one entry.
-func (s *store) add(ringKey lph.Key, e Entry) {
-	s.keys = append(s.keys, ringKey)
-	s.entries = append(s.entries, e)
+// StoreFactory builds the storage backend for one node. Config.Store
+// installs one system-wide; nil means NewMemStore per node.
+type StoreFactory func(node uint64) (Store, error)
+
+// RecoveryStats describes what a durable store found on open and how
+// its journal has evolved since — surfaced through Platform stats.
+type RecoveryStats struct {
+	// RecordsReplayed is the number of WAL records replayed on open.
+	RecordsReplayed int
+	// SnapshotRecords is the number of entries recovered from the last
+	// compacted snapshot.
+	SnapshotRecords int
+	// SnapshotStamp is the clock reading passed to the last
+	// compaction (zero if never compacted) — its age is the caller's
+	// clock minus this.
+	SnapshotStamp int64
+	// Compactions counts snapshot compactions performed in-process.
+	Compactions int
+	// LogBytes is the journal's current size.
+	LogBytes int64
 }
 
-// size returns the number of entries (the paper's load measure).
-func (s *store) size() int { return len(s.entries) }
-
-// scan returns the entries whose index points fall inside the region's
-// cube.
-func (s *store) scan(r query.Region) []Entry {
-	return s.scanAppend(r, nil)
+// Recoverable is implemented by durable stores that can report
+// recovery statistics (walstore). Memstore does not implement it.
+type Recoverable interface {
+	Recovery() RecoveryStats
 }
 
-// scanAppend appends the matching entries to buf and returns it. Hot
-// callers pass a reusable buffer (buf[:0]) so the warm query path does
-// not allocate per scan; the result must be fully consumed before the
-// buffer is reused.
-func (s *store) scanAppend(r query.Region, buf []Entry) []Entry {
-	for i := range s.entries {
-		if r.Contains(s.entries[i].Point) {
-			buf = append(buf, s.entries[i])
-		}
-	}
-	return buf
-}
-
-// medianKey returns a ring key that splits the store roughly in half:
-// entries with key <= medianKey form the lower half with respect to
-// the owner's range (pred, me]. The boolean is false when the store
-// cannot be split (fewer than 2 distinct keys).
+// medianOffsetKey returns a ring key that splits the given keys
+// roughly in half: entries with key <= result form the lower half with
+// respect to the owner's range (pred, me]. The boolean is false when
+// the set cannot be split (fewer than 2 distinct keys).
 //
 // Ring keys within one node's range (pred, me] are ordered by their
 // clockwise offset from pred+1, which the caller supplies as base.
-func (s *store) medianKey(base lph.Key) (lph.Key, bool) {
-	if len(s.keys) < 2 {
+func medianOffsetKey(keys []lph.Key, base lph.Key) (lph.Key, bool) {
+	if len(keys) < 2 {
 		return 0, false
 	}
-	offs := make([]uint64, len(s.keys))
-	for i, k := range s.keys {
+	offs := make([]uint64, len(keys))
+	for i, k := range keys {
 		offs[i] = k - base // clockwise offset, wraps correctly
 	}
 	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
@@ -82,52 +140,4 @@ func (s *store) medianKey(base lph.Key) (lph.Key, bool) {
 	}
 	// The split node takes (pred, base+mid-1]; entries at base+mid stay.
 	return base + mid - 1, true
-}
-
-// extractUpTo removes and returns all entries whose ring key lies in
-// (base-1, split], i.e. the lower half of the owner's range after a
-// split at `split`. base is pred+1 (the start of the owner's range).
-func (s *store) extractUpTo(base, split lph.Key) ([]lph.Key, []Entry) {
-	span := split - base // inclusive span length - 1
-	var outK []lph.Key
-	var outE []Entry
-	keepK := s.keys[:0]
-	keepE := s.entries[:0]
-	for i, k := range s.keys {
-		if k-base <= span {
-			outK = append(outK, k)
-			outE = append(outE, s.entries[i])
-		} else {
-			keepK = append(keepK, k)
-			keepE = append(keepE, s.entries[i])
-		}
-	}
-	s.keys = keepK
-	s.entries = keepE
-	return outK, outE
-}
-
-// drain removes and returns everything.
-func (s *store) drain() ([]lph.Key, []Entry) {
-	k, e := s.keys, s.entries
-	s.keys, s.entries = nil, nil
-	return k, e
-}
-
-// addAll inserts a batch.
-func (s *store) addAll(keys []lph.Key, entries []Entry) {
-	s.keys = append(s.keys, keys...)
-	s.entries = append(s.entries, entries...)
-}
-
-// sortedStoreNames returns a node's index-scheme names in sorted order,
-// the deterministic way to iterate a stores map: transfer and migration
-// batches must leave in the same order on every run of a seed.
-func sortedStoreNames(stores map[string]*store) []string {
-	names := make([]string, 0, len(stores))
-	for name := range stores {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -51,6 +51,19 @@ type Config struct {
 	// counted in System.AdmissionRejected. Zero admits everything —
 	// overload then queues in the transport inboxes instead.
 	MaxActiveQueries int
+	// Store builds each node's storage backend when it joins. Nil uses
+	// the in-memory NewMemStore (the paper's assumption: state is
+	// re-derivable). A durable deployment installs a walstore factory
+	// here so every node's region survives a restart.
+	Store StoreFactory
+	// TransferChunkBytes is the target payload size of one bulk
+	// region-transfer chunk (internal/core/transfer.go). Zero uses the
+	// 8 KiB default.
+	TransferChunkBytes int
+	// TransferWindow is the bulk transfer credit window: chunks in
+	// flight before the stream stalls on an acknowledgement. Zero uses
+	// the default of 4.
+	TransferWindow int
 }
 
 // RetryConfig tunes the reliable-delivery layer: every subquery and
@@ -180,6 +193,11 @@ type System struct {
 	// (Config.MaxActiveQueries); every rejection produced an honest
 	// incomplete result.
 	AdmissionRejected int
+	// StoreErrors counts storage-backend failures (a durable store's
+	// journal write or close failing). The in-memory state stays
+	// coherent when this is non-zero, but durability of the counted
+	// mutations is not guaranteed.
+	StoreErrors int
 	// active is the number of admitted, unfinished queries — the
 	// admission gate's saturation measure.
 	active int
@@ -195,14 +213,22 @@ type System struct {
 	// (safe because a System is single-threaded and each scan's result
 	// is consumed before the next scan runs; DESIGN.md §9).
 	scanBuf []Entry
+	// transfers accounts bulk region streams against the point-wise
+	// republication they replaced (internal/core/transfer.go).
+	transfers TransferStats
+	// nextTransfer allocates stream ids; deterministic counter.
+	nextTransfer uint64
+	// rxApplied is the receiver-side dedup state: chunk sequence
+	// numbers already applied, per in-flight transfer id.
+	rxApplied map[uint64]map[uint32]bool
 }
 
 // IndexNode is the per-node application state: the index entries this
-// node stores for each index scheme.
+// node stores for each index scheme, behind the pluggable Store.
 type IndexNode struct {
 	sys       *System
 	node      *chord.Node
-	stores    map[string]*store
+	st        Store
 	migrating bool
 	// scanBuf is the node's reusable candidate buffer for sharded local
 	// scans: each node's scans are serialized on its own shard executor,
@@ -259,15 +285,30 @@ func (s *System) sharded() bool {
 // protocol executor after the entry is stored.
 func (s *System) storeAdd(in *IndexNode, indexName string, key lph.Key, e Entry, done func()) {
 	if !s.sharded() {
-		in.store(indexName).add(key, e)
+		s.noteStoreErr(in.st.Put(indexName, key, e))
 		if done != nil {
 			done()
 		}
 		return
 	}
+	// The shard executor must not touch System counters; a journal
+	// failure rides back to the protocol executor in putErr.
+	var putErr error
 	s.shard.ExecShard(uint64(in.node.ID()), func() {
-		in.store(indexName).add(key, e)
-	}, done)
+		putErr = in.st.Put(indexName, key, e)
+	}, func() {
+		s.noteStoreErr(putErr)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// noteStoreErr counts a storage-backend failure (see StoreErrors).
+func (s *System) noteStoreErr(err error) {
+	if err != nil {
+		s.StoreErrors++
+	}
 }
 
 // suspect records a delivery failure against a node (hedge fire or
@@ -304,15 +345,30 @@ func (s *System) Network() *chord.Network { return s.net }
 func (s *System) Config() Config { return s.cfg }
 
 // AddNode joins a node with the given ring identifier and latency-
-// model host.
+// model host. The node's storage backend comes from Config.Store
+// (in-memory by default); a durable factory may recover a previous
+// incarnation's region from disk here.
 func (s *System) AddNode(id chord.ID, host int) (*IndexNode, error) {
-	nd, err := s.net.AddNode(id, host)
+	st, err := s.newStore(id)
 	if err != nil {
 		return nil, err
 	}
-	in := &IndexNode{sys: s, node: nd, stores: make(map[string]*store)}
+	nd, err := s.net.AddNode(id, host)
+	if err != nil {
+		s.noteStoreErr(st.Close())
+		return nil, err
+	}
+	in := &IndexNode{sys: s, node: nd, st: st}
 	s.nodes[id] = in
 	return in, nil
+}
+
+// newStore builds a node's storage backend from the configured factory.
+func (s *System) newStore(id chord.ID) (Store, error) {
+	if s.cfg.Store == nil {
+		return NewMemStore(), nil
+	}
+	return s.cfg.Store(id)
 }
 
 // Stabilize installs oracle-stabilized routing state on all nodes (the
@@ -354,7 +410,7 @@ func (s *System) RemoveIndex(name string) error {
 	}
 	delete(s.index, name)
 	for _, in := range s.nodes {
-		delete(in.stores, name)
+		s.noteStoreErr(in.st.DropIndex(name))
 	}
 	return nil
 }
@@ -395,7 +451,9 @@ func (s *System) BulkLoad(indexName string, entries []Entry) error {
 		if err != nil {
 			return err
 		}
-		s.nodes[owner.ID()].store(indexName).add(key, e)
+		if err := s.nodes[owner.ID()].st.Put(indexName, key, e); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -495,34 +553,35 @@ func (s *System) publishReliably(src *IndexNode, owner chord.ID, key lph.Key, in
 	send(owner, 0)
 }
 
-// store returns (creating on demand) the node's store for a scheme.
-func (in *IndexNode) store(indexName string) *store {
-	st, ok := in.stores[indexName]
-	if !ok {
-		st = &store{}
-		in.stores[indexName] = st
-	}
-	return st
-}
+// Store returns the node's storage backend.
+func (in *IndexNode) Store() Store { return in.st }
 
 // Snapshot copies the node's entries per index scheme (used by churn
 // injection to model soft-state republication of a crashed node's
 // entries).
 func (in *IndexNode) Snapshot() map[string][]Entry {
-	out := make(map[string][]Entry, len(in.stores))
-	for name, st := range in.stores {
-		if st.size() == 0 {
+	out := make(map[string][]Entry)
+	for _, name := range in.st.Indexes() {
+		_, entries := in.st.RegionSnapshot(name)
+		if len(entries) == 0 {
 			continue
 		}
-		out[name] = append([]Entry(nil), st.entries...)
+		out[name] = entries
 	}
 	return out
 }
 
 // ForgetNode drops the application state of a node that crashed at the
 // overlay layer (chord.Network.CrashNode). Its entries are gone until
-// republished.
+// republished — unless its store is durable, in which case a factory
+// re-adding the same ID recovers them from disk. The store is closed
+// to release backend resources; whether the journaled state survives
+// is governed by the fsync policy, not by this close (real SIGKILL
+// crash recovery is exercised by the netrt deployment).
 func (s *System) ForgetNode(id chord.ID) {
+	if in, ok := s.nodes[id]; ok {
+		s.noteStoreErr(in.st.Close())
+	}
 	delete(s.nodes, id)
 }
 
@@ -537,7 +596,7 @@ func (s *System) CrashNode(id chord.ID) error {
 	if err := s.net.CrashNode(id); err != nil {
 		return err
 	}
-	delete(s.nodes, id)
+	s.ForgetNode(id)
 	s.net.FixAround(id)
 	s.RepairReplicas()
 	return nil
@@ -568,21 +627,10 @@ func (s *System) retryTimeout(attempt int) time.Duration {
 
 // Load returns the node's total entry count across schemes — the
 // paper's load measure.
-func (in *IndexNode) Load() int {
-	total := 0
-	for _, st := range in.stores {
-		total += st.size()
-	}
-	return total
-}
+func (in *IndexNode) Load() int { return in.st.TotalSize() }
 
 // LoadFor returns the node's entry count for one scheme.
-func (in *IndexNode) LoadFor(indexName string) int {
-	if st, ok := in.stores[indexName]; ok {
-		return st.size()
-	}
-	return 0
-}
+func (in *IndexNode) LoadFor(indexName string) int { return in.st.Size(indexName) }
 
 // ID returns the node's ring identifier.
 func (in *IndexNode) ID() chord.ID { return in.node.ID() }
@@ -621,6 +669,29 @@ func (s *System) TotalEntries() int {
 	return total
 }
 
+// RecoverySummary aggregates recovery statistics over every node whose
+// store is durable (implements Recoverable), returning the durable
+// node count and the summed stats. SnapshotStamp is the newest stamp
+// across nodes.
+func (s *System) RecoverySummary() (durable int, agg RecoveryStats) {
+	for _, in := range s.nodes {
+		r, ok := in.st.(Recoverable)
+		if !ok {
+			continue
+		}
+		durable++
+		rs := r.Recovery()
+		agg.RecordsReplayed += rs.RecordsReplayed
+		agg.SnapshotRecords += rs.SnapshotRecords
+		agg.Compactions += rs.Compactions
+		agg.LogBytes += rs.LogBytes
+		if rs.SnapshotStamp > agg.SnapshotStamp {
+			agg.SnapshotStamp = rs.SnapshotStamp
+		}
+	}
+	return durable, agg
+}
+
 // reinsert routes a batch of migrated entries to their current oracle
 // owners (destination nodes may themselves have moved while the batch
 // was in flight).
@@ -630,6 +701,6 @@ func (s *System) reinsert(indexName string, keys []lph.Key, entries []Entry) {
 		if err != nil {
 			continue
 		}
-		s.nodes[owner.ID()].store(indexName).add(key, entries[i])
+		s.noteStoreErr(s.nodes[owner.ID()].st.Put(indexName, key, entries[i]))
 	}
 }

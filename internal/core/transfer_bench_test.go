@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"landmarkdht/internal/chord"
+	"landmarkdht/internal/netmodel"
+	"landmarkdht/internal/sim"
+)
+
+// BenchmarkRegionTransfer10k streams a 10k-object region between two
+// nodes and reports the measured bulk cost against the point-wise
+// counterfactual (the numbers behind EXPERIMENTS.md's durability
+// section). Gated in the JSON baseline like the other benchmarks.
+func BenchmarkRegionTransfer10k(b *testing.B) {
+	eng := sim.NewEngine(1)
+	model, err := netmodel.NewSyntheticKing(netmodel.KingConfig{N: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := NewSystem(eng, model, DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	used := map[chord.ID]bool{}
+	var ids []chord.ID
+	for i := 0; i < 8; i++ {
+		id := chord.ID(rng.Uint64())
+		for used[id] {
+			id = chord.ID(rng.Uint64())
+		}
+		used[id] = true
+		if _, err := sys.AddNode(id, i); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	sys.Stabilize()
+	nodes := sys.Nodes()
+	src, dst := nodes[0], nodes[1]
+	pred, ok := dst.node.Predecessor()
+	if !ok {
+		b.Fatal("unstabilized ring")
+	}
+	const n = 10000
+	keys, entries := xferEntries(pred, n)
+
+	before := sys.TransferStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.streamRegion(src, dst.ID(), "bench-region", keys, entries, nil)
+		eng.Run()
+		if err := dst.st.DropIndex("bench-region"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ts := sys.TransferStats()
+	iters := float64(b.N)
+	bulkMsgs := float64(ts.BulkMessages-before.BulkMessages) / iters
+	bulkBytes := float64(ts.BulkBytes-before.BulkBytes) / iters
+	pwMsgs := float64(ts.PointwiseMessages-before.PointwiseMessages) / iters
+	pwBytes := float64(ts.PointwiseBytes-before.PointwiseBytes) / iters
+	b.ReportMetric(bulkMsgs, "bulk-msgs")
+	b.ReportMetric(bulkBytes, "bulk-bytes")
+	b.ReportMetric(pwMsgs, "pointwise-msgs")
+	b.ReportMetric(pwBytes, "pointwise-bytes")
+	if pwBytes > 0 {
+		b.ReportMetric(1-bulkBytes/pwBytes, "bytes-saved-frac")
+	}
+}

@@ -31,6 +31,12 @@ type Info struct {
 	Addr    string
 	Members []Member
 	Store   int
+	// Recovered reports that the node restored its corpus from its
+	// data directory instead of regenerating it; Replayed counts the
+	// durable records read. Both zero on nodes without a data dir and
+	// on a durable node's first boot.
+	Recovered bool
+	Replayed  int
 }
 
 // Dial connects to a node and completes the client handshake.
@@ -191,7 +197,10 @@ func (c *Client) Info(timeout time.Duration) (Info, error) {
 	if err := decodeBody(body, &in); err != nil {
 		return Info{}, err
 	}
-	return Info{ID: in.ID, Addr: in.Addr, Members: in.Members, Store: in.Store}, nil
+	return Info{
+		ID: in.ID, Addr: in.Addr, Members: in.Members, Store: in.Store,
+		Recovered: in.Recovered, Replayed: in.Replayed,
+	}, nil
 }
 
 // Close tears the client connection down, reporting the connection's

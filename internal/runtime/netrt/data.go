@@ -14,13 +14,13 @@ import (
 	"landmarkdht/internal/query"
 )
 
-// DataConfig pins the deterministic corpus every ring member rebuilds
-// at startup. All processes must agree on every field — the handshake
-// compares a signature over the derived keys and refuses to link nodes
-// whose corpora differ. (Regenerating the corpus from the seed in each
-// process stands in for durable local state, a later milestone; it is
-// what lets a SIGKILLed node restart and immediately own its share of
-// the data again.)
+// DataConfig pins the deterministic corpus every ring member holds.
+// All processes must agree on every field — the handshake compares a
+// signature over the derived keys and refuses to link nodes whose
+// corpora differ. Without Config.DataDir each process regenerates the
+// corpus from the seed at startup; with it, the corpus is journaled to
+// disk on first boot and a restarted (e.g. SIGKILLed) node recovers
+// its state from the WAL instead of rebuilding it — see durable.go.
 type DataConfig struct {
 	// Metric selects the object space: "euclid" (Dim-dimensional
 	// vectors, uniform in [0,1]) or "edit" (short random strings under
@@ -71,11 +71,15 @@ type corpus interface {
 	Evaluator(qobj []byte) (func(i int) float64, error)
 	// RandomQuery draws a random encoded query object from rng.
 	RandomQuery(rng *rand.Rand) []byte
+	// persist emits the durable record stream (meta, landmarks,
+	// entries) that openDurable can restore the corpus from.
+	persist(cfg DataConfig, emit func(payload []byte) error) error
 }
 
 // dataset is the generic corpus implementation over one metric space.
 type dataset[T any] struct {
 	objs   []T
+	lms    []T // landmark objects (persisted so recovery skips selection)
 	space  metric.Space[T]
 	emb    *indexspace.Embedding[T]
 	part   *lph.Partitioner
@@ -83,6 +87,7 @@ type dataset[T any] struct {
 	points [][]float64
 	sig    uint64
 	dec    func([]byte) (T, error)
+	enc    func(T) []byte
 	random func(rng *rand.Rand) []byte
 }
 
@@ -139,7 +144,7 @@ func buildCorpus(cfg DataConfig) (corpus, error) {
 // finishDataset runs the metric-independent tail of corpus
 // construction: landmark selection, embedding, mapping, keys,
 // signature.
-func finishDataset[T any](cfg DataConfig, objs []T, space metric.Space[T], dec func([]byte) (T, error), random func(*rand.Rand) []byte) (*dataset[T], error) {
+func finishDataset[T any](cfg DataConfig, objs []T, space metric.Space[T], dec func([]byte) (T, error), enc func(T) []byte, random func(*rand.Rand) []byte) (*dataset[T], error) {
 	sample := objs
 	if len(sample) > 2000 {
 		sample = sample[:2000]
@@ -149,6 +154,26 @@ func finishDataset[T any](cfg DataConfig, objs []T, space metric.Space[T], dec f
 	if err != nil {
 		return nil, err
 	}
+	d, err := assembleDataset(cfg, objs, lms, space, dec, enc, random)
+	if err != nil {
+		return nil, err
+	}
+	// Map every object into index space and derive its ring key.
+	for i, o := range objs {
+		p := d.emb.Map(o)
+		d.points[i] = p
+		d.keys[i] = d.part.MapPoint(p)
+	}
+	d.seal(cfg)
+	return d, nil
+}
+
+// assembleDataset builds the embedding machinery from explicit
+// landmark objects, leaving keys/points for the caller to fill —
+// shared by fresh construction (finishDataset, which maps every
+// object) and durable recovery (restoreDataset, which loads the
+// persisted keys/points instead of recomputing them).
+func assembleDataset[T any](cfg DataConfig, objs, lms []T, space metric.Space[T], dec func([]byte) (T, error), enc func(T) []byte, random func(*rand.Rand) []byte) (*dataset[T], error) {
 	emb, err := indexspace.New(space, lms)
 	if err != nil {
 		return nil, err
@@ -157,21 +182,42 @@ func finishDataset[T any](cfg DataConfig, objs []T, space metric.Space[T], dec f
 	if err != nil {
 		return nil, err
 	}
-	d := &dataset[T]{objs: objs, space: space, emb: emb, part: part, dec: dec, random: random}
+	d := &dataset[T]{objs: objs, lms: lms, space: space, emb: emb, part: part, dec: dec, enc: enc, random: random}
 	d.keys = make([]lph.Key, len(objs))
 	d.points = make([][]float64, len(objs))
+	return d, nil
+}
+
+// seal computes the handshake signature over the (now final) keys.
+func (d *dataset[T]) seal(cfg DataConfig) {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d/%d/%d/%d", cfg.Metric, cfg.Seed, cfg.Objects, cfg.Dim, cfg.Landmarks)
 	var kb [8]byte
-	for i, o := range objs {
-		p := emb.Map(o)
-		d.points[i] = p
-		d.keys[i] = part.MapPoint(p)
-		binary.BigEndian.PutUint64(kb[:], uint64(d.keys[i]))
+	for _, k := range d.keys {
+		binary.BigEndian.PutUint64(kb[:], uint64(k))
 		h.Write(kb[:])
 	}
 	d.sig = h.Sum64()
-	return d, nil
+}
+
+// euclidParts returns the metric-space machinery for "euclid": the
+// space plus the object codec and random-query generator. Shared by
+// fresh construction and durable recovery.
+func euclidParts(cfg DataConfig) (metric.Space[metric.Vector], func([]byte) (metric.Vector, error), func(metric.Vector) []byte, func(*rand.Rand) []byte) {
+	space := metric.EuclideanSpace("euclid", cfg.Dim, 0, 1)
+	dim := cfg.Dim
+	dec := func(b []byte) (metric.Vector, error) {
+		return DecodeVectorQuery(b, dim)
+	}
+	enc := func(v metric.Vector) []byte { return EncodeVectorQuery(v) }
+	random := func(rng *rand.Rand) []byte {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		return EncodeVectorQuery(v)
+	}
+	return space, dec, enc, random
 }
 
 func buildEuclid(cfg DataConfig) (corpus, error) {
@@ -184,53 +230,52 @@ func buildEuclid(cfg DataConfig) (corpus, error) {
 		}
 		objs[i] = v
 	}
-	space := metric.EuclideanSpace("euclid", cfg.Dim, 0, 1)
-	dim := cfg.Dim
-	dec := func(b []byte) (metric.Vector, error) {
-		return DecodeVectorQuery(b, dim)
-	}
-	random := func(rng *rand.Rand) []byte {
-		v := make([]float64, dim)
-		for j := range v {
-			v[j] = rng.Float64()
-		}
-		return EncodeVectorQuery(v)
-	}
-	return finishDataset(cfg, objs, space, dec, random)
+	space, dec, enc, random := euclidParts(cfg)
+	return finishDataset(cfg, objs, space, dec, enc, random)
 }
 
 // editAlphabet is small on purpose: short strings over few letters
 // produce a rich, collision-heavy edit-distance landscape.
 const editAlphabet = "abcde"
 
-func buildEdit(cfg DataConfig) (corpus, error) {
-	const maxLen = 12
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x636f72707573))
-	objs := make([]string, cfg.Objects)
-	for i := range objs {
-		n := 3 + rng.Intn(maxLen-3)
-		b := make([]byte, n)
-		for j := range b {
-			b[j] = editAlphabet[rng.Intn(len(editAlphabet))]
-		}
-		objs[i] = string(b)
-	}
-	space := metric.EditSpace("edit", maxLen)
+// editMaxLen bounds string length for the "edit" metric.
+const editMaxLen = 12
+
+// editParts returns the metric-space machinery for "edit". Shared by
+// fresh construction and durable recovery.
+func editParts() (metric.Space[string], func([]byte) (string, error), func(string) []byte, func(*rand.Rand) []byte) {
+	space := metric.EditSpace("edit", editMaxLen)
 	dec := func(b []byte) (string, error) {
-		if len(b) > maxLen {
-			return "", fmt.Errorf("netrt: query string longer than %d", maxLen)
+		if len(b) > editMaxLen {
+			return "", fmt.Errorf("netrt: query string longer than %d", editMaxLen)
 		}
 		return string(b), nil
 	}
+	enc := func(s string) []byte { return []byte(s) }
 	random := func(rng *rand.Rand) []byte {
-		n := 3 + rng.Intn(maxLen-3)
+		n := 3 + rng.Intn(editMaxLen-3)
 		b := make([]byte, n)
 		for j := range b {
 			b[j] = editAlphabet[rng.Intn(len(editAlphabet))]
 		}
 		return b
 	}
-	return finishDataset(cfg, objs, space, dec, random)
+	return space, dec, enc, random
+}
+
+func buildEdit(cfg DataConfig) (corpus, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x636f72707573))
+	objs := make([]string, cfg.Objects)
+	for i := range objs {
+		n := 3 + rng.Intn(editMaxLen-3)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = editAlphabet[rng.Intn(len(editAlphabet))]
+		}
+		objs[i] = string(b)
+	}
+	space, dec, enc, random := editParts()
+	return finishDataset(cfg, objs, space, dec, enc, random)
 }
 
 // EncodeVectorQuery encodes a vector query object for the "euclid"

@@ -1,0 +1,178 @@
+package netrt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// A second openDurable on the same directory must restore the corpus
+// bit-for-bit — same signature, keys, points — without regenerating
+// it, for both metrics.
+func TestDurableCorpusRoundTrip(t *testing.T) {
+	for _, cfg := range []DataConfig{
+		{Metric: "euclid", Seed: 11, Objects: 512, Dim: 3, Landmarks: 4},
+		{Metric: "edit", Seed: 3, Objects: 256, Landmarks: 4},
+	} {
+		dir := t.TempDir()
+		built, recovered, _, err := openDurable(dir, cfg)
+		if err != nil {
+			t.Fatalf("%s first boot: %v", cfg.Metric, err)
+		}
+		if recovered {
+			t.Fatalf("%s: first boot on an empty dir claims recovery", cfg.Metric)
+		}
+		restored, recovered, replayed, err := openDurable(dir, cfg)
+		if err != nil {
+			t.Fatalf("%s recovery: %v", cfg.Metric, err)
+		}
+		if !recovered {
+			t.Fatalf("%s: second boot did not recover from disk", cfg.Metric)
+		}
+		// meta + landmarks + entries, all snapshotted at first boot.
+		if want := 1 + 4 + cfg.Objects; replayed != want {
+			t.Fatalf("%s: replayed %d records, want %d", cfg.Metric, replayed, want)
+		}
+		if built.Sig() != restored.Sig() {
+			t.Fatalf("%s: signature changed across recovery", cfg.Metric)
+		}
+		if built.N() != restored.N() {
+			t.Fatalf("%s: N %d -> %d", cfg.Metric, built.N(), restored.N())
+		}
+		for i := 0; i < built.N(); i++ {
+			if built.Key(i) != restored.Key(i) {
+				t.Fatalf("%s: entry %d key changed", cfg.Metric, i)
+			}
+			bp, rp := built.Point(i), restored.Point(i)
+			if len(bp) != len(rp) {
+				t.Fatalf("%s: entry %d point dim changed", cfg.Metric, i)
+			}
+			for j := range bp {
+				if bp[j] != rp[j] {
+					t.Fatalf("%s: entry %d point diverged", cfg.Metric, i)
+				}
+			}
+		}
+		// Exact refinement must see the same objects: distances from a
+		// random query object agree everywhere.
+		rng := rand.New(rand.NewSource(7))
+		qobj := built.RandomQuery(rng)
+		be, err := built.Evaluator(qobj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := restored.Evaluator(qobj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < built.N(); i++ {
+			if be(i) != re(i) {
+				t.Fatalf("%s: entry %d distance diverged after recovery", cfg.Metric, i)
+			}
+		}
+	}
+}
+
+// Pointing a node at a directory built for a different corpus must
+// fail loudly, never silently rebuild.
+func TestDurableConfigMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testData()
+	if _, _, _, err := openDurable(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 999
+	if _, _, _, err := openDurable(dir, other); err == nil {
+		t.Fatal("openDurable accepted a directory built for a different seed")
+	}
+}
+
+// A node restarted on the same address with the same data directory
+// must recover its corpus from the WAL (Recovered=true, visible over
+// the client protocol too) and answer exactly again.
+func TestDurableNodeRestartRecovers(t *testing.T) {
+	data := testData()
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		cfg := testConfig(data)
+		cfg.DataDir = dirs[i]
+		if i > 0 {
+			cfg.Join = []string{nodes[0].Addr()}
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		if n.Recovered() {
+			t.Fatalf("node %d claims recovery on first boot", i)
+		}
+		nodes[i] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	waitConverged(t, nodes, 3)
+
+	victim := nodes[2]
+	addr := victim.Addr()
+	victim.Close()
+	nodes[2] = nil
+
+	cfg := testConfig(data, nodes[0].Addr())
+	cfg.Listen = addr
+	cfg.DataDir = dirs[2]
+	restarted, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	nodes[2] = restarted
+	if !restarted.Recovered() {
+		t.Fatal("restarted node did not recover from its data dir")
+	}
+	if restarted.replayed == 0 {
+		t.Fatal("recovery replayed zero records")
+	}
+	waitConverged(t, nodes, 3)
+
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Info(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Recovered || info.Replayed == 0 {
+		t.Fatalf("client info does not report recovery: %+v", info)
+	}
+
+	// Post-recovery answers must converge back to Complete ∧ exact.
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	waitFor(t, 20*time.Second, func() bool {
+		qobj := ds.RandomQuery(rng)
+		r := 0.25 + 0.2*rng.Float64()
+		out, err := nodes[0].Query(qobj, r, 5*time.Second)
+		if err != nil || !out.Complete {
+			return false
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(out.Entries, want) {
+			t.Fatalf("complete-but-wrong after durable recovery: got %d want %d", len(out.Entries), len(want))
+		}
+		return true
+	})
+}

@@ -29,10 +29,13 @@
 //
 // # Data and membership
 //
-// Every process rebuilds the same deterministic corpus from the shared
-// seed (DataConfig; the handshake's corpus signature refuses to link
-// disagreeing nodes) and stores exactly the entries it owns under the
-// current membership view — the successor of each entry's ring key.
+// Every process holds the same deterministic corpus (DataConfig; the
+// handshake's corpus signature refuses to link disagreeing nodes) and
+// stores exactly the entries it owns under the current membership view
+// — the successor of each entry's ring key. Without Config.DataDir the
+// corpus is rebuilt from the seed at startup; with it, first boot
+// journals the corpus to disk and every later boot recovers it from
+// the WAL with zero regeneration (durable.go).
 // Membership is a full member list, learned at handshake, spread by
 // join announcements and periodic gossip; members are never evicted,
 // so a SIGKILLed process that restarts with the same address (same
@@ -78,6 +81,13 @@ type Config struct {
 	Join []string
 	// Data pins the deterministic corpus (must match across the ring).
 	Data DataConfig
+	// DataDir, when set, makes node state durable: the corpus (landmark
+	// objects, entries, keys, points) is journaled to this directory on
+	// first boot, and a restart on the same address restores it from
+	// disk instead of regenerating it. Each node needs its own
+	// directory. A directory built for a different Data config is a
+	// startup error, never a silent rebuild.
+	DataDir string
 	// Deadline bounds a query: when it expires before all credit is
 	// home, the query finishes incomplete (default 5s).
 	Deadline time.Duration
@@ -119,6 +129,10 @@ type Node struct {
 	epoch uint64 // process incarnation, stamps this node's queries
 	data  corpus
 
+	// Durable-state provenance, fixed at Start.
+	recovered bool // corpus came off disk, not regenerated
+	replayed  int  // durable records read during recovery
+
 	rt *livert.Runtime // protocol executor, clock, seeded rand
 	ln net.Listener
 
@@ -157,11 +171,21 @@ func NodeID(addr string) uint64 {
 	return h.Sum64()
 }
 
-// Start builds the corpus, binds the listener, joins the ring, and
-// returns the running node.
+// Start builds (or, with DataDir, recovers) the corpus, binds the
+// listener, joins the ring, and returns the running node.
 func Start(cfg Config) (*Node, error) {
 	cfg.fillDefaults()
-	data, err := buildCorpus(cfg.Data)
+	var (
+		data      corpus
+		recovered bool
+		replayed  int
+		err       error
+	)
+	if cfg.DataDir != "" {
+		data, recovered, replayed, err = openDurable(cfg.DataDir, cfg.Data)
+	} else {
+		data, err = buildCorpus(cfg.Data)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -176,13 +200,15 @@ func Start(cfg Config) (*Node, error) {
 		// A restarted process has the same identity and restarts its
 		// qid counter, so returns are routed by (epoch, qid): frames
 		// queued for a dead incarnation cannot leak into this one.
-		epoch:   uint64(time.Now().UnixNano()),
-		data:    data,
-		ln:      ln,
-		members: make(map[uint64]string),
-		queries: make(map[uint64]*originQuery),
-		links:   make(map[string]*link),
-		clients: make(map[net.Conn]struct{}),
+		epoch:     uint64(time.Now().UnixNano()),
+		data:      data,
+		recovered: recovered,
+		replayed:  replayed,
+		ln:        ln,
+		members:   make(map[uint64]string),
+		queries:   make(map[uint64]*originQuery),
+		links:     make(map[string]*link),
+		clients:   make(map[net.Conn]struct{}),
 	}
 	n.id = NodeID(n.addr)
 	n.rt = livert.New(livert.Config{Seed: cfg.Data.Seed ^ int64(n.id)})
@@ -209,6 +235,11 @@ func Start(cfg Config) (*Node, error) {
 
 // ID returns the node's ring identity.
 func (n *Node) ID() uint64 { return n.id }
+
+// Recovered reports whether the node's corpus was restored from its
+// data directory (true only after a restart with DataDir set; the
+// first boot builds and persists, it does not recover).
+func (n *Node) Recovered() bool { return n.recovered }
 
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.addr }

@@ -133,12 +133,17 @@ type clientResultMsg struct {
 }
 
 // infoMsg answers a client info request: the node's identity, view of
-// the ring, and how much of the corpus it currently owns.
+// the ring, how much of the corpus it currently owns, and whether its
+// corpus was recovered from durable state. (Gob tolerates unknown
+// fields, so adding fields here stays wire-compatible across mixed
+// versions.)
 type infoMsg struct {
-	ID      uint64
-	Addr    string
-	Members []Member
-	Store   int
+	ID        uint64
+	Addr      string
+	Members   []Member
+	Store     int
+	Recovered bool
+	Replayed  int
 }
 
 // encodeMsg builds a frame payload: kind byte + gob body.

@@ -191,6 +191,7 @@ func (n *Node) serveClient(conn net.Conn) {
 			n.rt.Schedule(0, func() {
 				reply(reqID, kindClientInfoR, infoMsg{
 					ID: n.id, Addr: n.addr, Members: n.snapshot(), Store: len(n.owned),
+					Recovered: n.recovered, Replayed: n.replayed,
 				})
 			})
 		default:

@@ -1,0 +1,366 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustAppend(t *testing.T, l *Log, p []byte) {
+	t.Helper()
+	if err := l.Append(p); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+func openReplay(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, err := OpenLog(path, Options{Sync: SyncNever}, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l, got
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma"), bytes.Repeat([]byte{0xAB}, 4096)}
+
+	l, err := OpenLog(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, r := range recs {
+		mustAppend(t, l, r)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, got := openReplay(t, path)
+	defer l2.Close()
+	if l2.Replayed() != len(recs) {
+		t.Fatalf("replayed %d records, want %d", l2.Replayed(), len(recs))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(got[i], r) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], r)
+		}
+	}
+
+	// Appends after recovery continue the same file.
+	mustAppend(t, l2, []byte("post-recovery"))
+	if err := l2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l3, got3 := openReplay(t, path)
+	defer l3.Close()
+	if len(got3) != len(recs)+1 || !bytes.Equal(got3[len(recs)], []byte("post-recovery")) {
+		t.Fatalf("after re-append: %d records", len(got3))
+	}
+}
+
+// TestTornTailEveryOffset is the crash-recovery satellite: write a log
+// of N records, then for EVERY byte offset inside the tail record's
+// frame, truncate the file to that offset and assert recovery yields
+// exactly the first N-1 records, truncates the file back to the valid
+// boundary, and accepts further appends.
+func TestTornTailEveryOffset(t *testing.T) {
+	base := [][]byte{[]byte("first-record"), []byte("second"), []byte("the-third-one")}
+	tail := []byte("tail-record-that-gets-torn")
+
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	l, err := OpenLog(full, Options{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, r := range base {
+		mustAppend(t, l, r)
+	}
+	validEnd := l.Size()
+	mustAppend(t, l, tail)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := validEnd; cut < int64(len(data)); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "torn.log")
+			if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, got := openReplay(t, path)
+			if int64(len(got)) != int64(len(base)) {
+				t.Fatalf("recovered %d records, want %d", len(got), len(base))
+			}
+			for i, r := range base {
+				if !bytes.Equal(got[i], r) {
+					t.Fatalf("record %d mismatch after recovery", i)
+				}
+			}
+			if l.Size() != validEnd {
+				t.Fatalf("recovered size %d, want truncation to %d", l.Size(), validEnd)
+			}
+			// The file itself must be cut back so the next append
+			// starts a clean frame.
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() != validEnd {
+				t.Fatalf("file size %d after recovery, want %d", st.Size(), validEnd)
+			}
+			mustAppend(t, l, []byte("replacement"))
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			l2, got2 := openReplay(t, path)
+			defer l2.Close()
+			if len(got2) != len(base)+1 || !bytes.Equal(got2[len(base)], []byte("replacement")) {
+				t.Fatalf("re-append after torn-tail recovery: %d records", len(got2))
+			}
+		})
+	}
+}
+
+// TestCorruptCRCMidLog is the fail-loud satellite: a CRC mismatch on a
+// record that is NOT the torn tail must abort recovery with
+// ErrCorrupt, never silently skip to later records.
+func TestCorruptCRCMidLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, Options{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var offsets []int64
+	for _, r := range [][]byte{[]byte("one"), []byte("two-two"), []byte("three-three-three")} {
+		offsets = append(offsets, l.Size())
+		mustAppend(t, l, r)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Flip one payload byte of the MIDDLE record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[1]+frameHeader] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed int
+	_, err = OpenLog(path, Options{}, func([]byte) error { replayed++; return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open on corrupt mid-log record: err=%v, want ErrCorrupt", err)
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d records before failing, want 1 (never skip past corruption)", replayed)
+	}
+	// The file must not have been truncated or "repaired".
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(len(data)) {
+		t.Fatalf("file rewritten on corruption: size %d want %d", st.Size(), len(data))
+	}
+}
+
+// An impossible declared length mid-log is corruption too.
+func TestCorruptLengthMidLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, Options{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, []byte("good"))
+	off := l.Size()
+	mustAppend(t, l, []byte("becomes-bad"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	binary.LittleEndian.PutUint32(data[off:off+4], MaxRecord+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenLog(path, Options{}, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("impossible length: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, Options{Sync: SyncInterval, SyncEvery: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, []byte{byte(i)})
+	}
+	if l.pending != 1 { // 10 appends: syncs at 3, 6, 9
+		t.Fatalf("pending=%d after 10 appends with SyncEvery=3, want 1", l.pending)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCompactAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	open := func(wantSnap, wantLog [][]byte) *Store {
+		t.Helper()
+		var snap, log [][]byte
+		s, err := OpenStore(dir, Options{Sync: SyncNever},
+			func(p []byte) error { snap = append(snap, append([]byte(nil), p...)); return nil },
+			func(p []byte) error { log = append(log, append([]byte(nil), p...)); return nil })
+		if err != nil {
+			t.Fatalf("open store: %v", err)
+		}
+		if len(snap) != len(wantSnap) || len(log) != len(wantLog) {
+			t.Fatalf("recovered snap=%d log=%d records, want %d/%d", len(snap), len(log), len(wantSnap), len(wantLog))
+		}
+		for i := range wantSnap {
+			if !bytes.Equal(snap[i], wantSnap[i]) {
+				t.Fatalf("snapshot record %d mismatch", i)
+			}
+		}
+		for i := range wantLog {
+			if !bytes.Equal(log[i], wantLog[i]) {
+				t.Fatalf("log record %d mismatch", i)
+			}
+		}
+		return s
+	}
+
+	s := open(nil, nil)
+	for _, r := range []string{"a", "b", "c"} {
+		if err := s.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover log-only state, then compact it into a snapshot.
+	s = open(nil, [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	const stamp = 777
+	err := s.Compact(stamp, func(emit func([]byte) error) error {
+		for _, r := range []string{"ab", "c"} { // compacted form
+			if err := emit([]byte(r)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if got := s.Stats(); got.SnapshotStamp != stamp || got.LogBytes != 0 {
+		t.Fatalf("post-compact stats: %+v", got)
+	}
+	if err := s.Append([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees snapshot records then post-compact log records.
+	s = open([][]byte{[]byte("ab"), []byte("c")}, [][]byte{[]byte("d")})
+	st := s.Stats()
+	if st.SnapshotRecords != 2 || st.SnapshotStamp != stamp || st.LogRecords != 1 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A crash between snapshot-temp write and rename must leave the old
+// state intact: the .tmp file is ignored by recovery.
+func TestStoreStrayTempSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snap.dat.tmp"), []byte("garbage-partial-snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var log [][]byte
+	s, err = OpenStore(dir, Options{}, nil, func(p []byte) error {
+		log = append(log, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open with stray tmp: %v", err)
+	}
+	defer s.Close()
+	if len(log) != 1 || !bytes.Equal(log[0], []byte("kept")) {
+		t.Fatalf("stray tmp disturbed recovery: %q", log)
+	}
+}
+
+// A corrupt snapshot (installed file, not the tmp) must fail loudly —
+// snapshots are atomically replaced, so damage there is never a torn
+// tail.
+func TestStoreCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(1, func(emit func([]byte) error) error {
+		return emit([]byte("snapshot-record"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "snap.dat")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, Options{}, nil, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err=%v, want ErrCorrupt", err)
+	}
+	// Truncated snapshot is also corruption (rename is atomic).
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, Options{}, nil, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated snapshot: err=%v, want ErrCorrupt", err)
+	}
+}

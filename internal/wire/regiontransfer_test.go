@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRegionChunkRoundTrip(t *testing.T) {
+	in := RegionChunk{
+		Transfer: 0xDEADBEEF01020304,
+		Index:    "docs-l1",
+		Seq:      41,
+		Last:     true,
+		Data:     bytes.Repeat([]byte{7, 1}, 500),
+	}
+	enc, err := AppendChunk(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != in.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), in.EncodedSize())
+	}
+	out, err := DecodeChunk(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Transfer != in.Transfer || out.Index != in.Index || out.Seq != in.Seq || out.Last != in.Last || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	// Data must be a copy, not a view of the input.
+	enc[len(enc)-1] ^= 0xFF
+	if !bytes.Equal(out.Data, in.Data) {
+		t.Fatal("decoded Data aliases the input buffer")
+	}
+}
+
+func TestRegionChunkEmptyAndNotLast(t *testing.T) {
+	in := RegionChunk{Transfer: 1, Index: "x", Seq: 0}
+	enc, err := AppendChunk(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeChunk(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Last || out.Seq != 0 || len(out.Data) != 0 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestRegionChunkOversized(t *testing.T) {
+	in := RegionChunk{Transfer: 1, Index: "x", Data: make([]byte, MaxFramePayload)}
+	if _, err := AppendChunk(nil, &in); err == nil {
+		t.Fatal("oversized chunk encoded without error")
+	}
+	var fe *FrameError
+	_, err := AppendChunk(nil, &in)
+	if !errors.As(err, &fe) || fe.Reason != "oversized" {
+		t.Fatalf("want oversized FrameError, got %v", err)
+	}
+	// MaxChunkData-sized data must fit even with a maximal index name.
+	ok := RegionChunk{Transfer: 1, Index: string(make([]byte, maxIndexName)), Data: make([]byte, MaxChunkData)}
+	if _, err := AppendChunk(nil, &ok); err != nil {
+		t.Fatalf("MaxChunkData chunk refused: %v", err)
+	}
+}
+
+func TestRegionChunkTruncated(t *testing.T) {
+	in := RegionChunk{Transfer: 9, Index: "idx", Seq: 3, Data: []byte("abcdef")}
+	enc, err := AppendChunk(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeChunk(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	// Trailing garbage must be rejected too (chunk is a whole payload).
+	if _, err := DecodeChunk(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+}
+
+func TestRegionAckRoundTrip(t *testing.T) {
+	enc := AppendAck(nil, RegionAck{Transfer: 77, Seq: 12})
+	if len(enc) != AckBytes {
+		t.Fatalf("ack encoded to %d bytes, want %d", len(enc), AckBytes)
+	}
+	a, err := DecodeAck(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transfer != 77 || a.Seq != 12 {
+		t.Fatalf("round trip mismatch: %+v", a)
+	}
+	if _, err := DecodeAck(enc[:AckBytes-1]); err == nil {
+		t.Fatal("short ack decoded without error")
+	}
+}

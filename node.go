@@ -30,6 +30,11 @@ type NodeOptions struct {
 	Objects   int
 	Dim       int
 	Landmarks int
+	// DataDir, when set, makes the node's state durable: the corpus is
+	// journaled to this directory on first boot, and a process
+	// restarted on the same Listen address recovers it from the WAL
+	// instead of regenerating it. Each node needs its own directory.
+	DataDir string
 	// Deadline bounds each query; on expiry it finishes incomplete
 	// with the results gathered so far (default 5s).
 	Deadline time.Duration
@@ -75,6 +80,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 			Dim:       opts.Dim,
 			Landmarks: opts.Landmarks,
 		},
+		DataDir:      opts.DataDir,
 		Deadline:     opts.Deadline,
 		GossipPeriod: opts.GossipPeriod,
 		Faults:       opts.Faults,
@@ -91,6 +97,10 @@ func (n *Node) ID() uint64 { return n.inner.ID() }
 
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.inner.Addr() }
+
+// Recovered reports whether the node restored its corpus from DataDir
+// (true only after a restart; a first boot builds and persists).
+func (n *Node) Recovered() bool { return n.inner.Recovered() }
 
 // Stats snapshots the node's link layer.
 func (n *Node) Stats() NodeStats { return n.inner.Stats() }

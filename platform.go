@@ -11,6 +11,7 @@ import (
 	"landmarkdht/internal/runtime"
 	"landmarkdht/internal/runtime/livert"
 	"landmarkdht/internal/sim"
+	"landmarkdht/internal/wal"
 )
 
 // Options configures a Platform.
@@ -88,7 +89,32 @@ type Options struct {
 	// without limit. Zero means the default bound (8192); negative
 	// means unbounded. Ignored in simulated mode.
 	MaxInbox int
+	// DataDir, when set, makes every node's store durable: mutations
+	// journal to a per-node write-ahead log under this directory (with
+	// periodic compacting snapshots), and a platform rebuilt over the
+	// same directory recovers each node's region from disk. Empty (the
+	// default) keeps the paper's in-memory stores. Snapshot stamps come
+	// from the platform clock, so simulated runs stay deterministic.
+	DataDir string
+	// DataSync selects the journal fsync policy when DataDir is set.
+	// The zero value is SyncAlways (an fsync per journal append —
+	// maximum durability); SyncInterval trades a bounded window of
+	// acknowledged-but-unflushed records for throughput.
+	DataSync DataSyncPolicy
 }
+
+// DataSyncPolicy re-exports the journal fsync policy (wal.SyncPolicy).
+type DataSyncPolicy = wal.SyncPolicy
+
+// Journal fsync policies for Options.DataSync.
+const (
+	// SyncAlways flushes after every journal append.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval flushes every 64 appends (and on close/compaction).
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS.
+	SyncNever = wal.SyncNever
+)
 
 // RetryConfig re-exports the reliable-delivery knobs.
 type RetryConfig = core.RetryConfig
@@ -167,9 +193,25 @@ func New(opts Options) (*Platform, error) {
 			Seed: opts.Seed, LatencyScale: opts.LiveLatencyScale, Faults: opts.Faults,
 			Executors: opts.Executors, MaxInbox: opts.MaxInbox,
 		})
-		p.sys = core.NewSystemRuntime(p.live, p.live, model, cfg)
 	} else {
 		p.eng = sim.NewEngine(opts.Seed)
+	}
+	if opts.DataDir != "" {
+		// Compaction stamps come from the platform clock (virtual in
+		// simulated mode) so durable runs replay deterministically.
+		now := func() int64 {
+			if p.live != nil {
+				return int64(p.live.Now())
+			}
+			return int64(p.eng.Now())
+		}
+		cfg.Store = core.WALStoreFactory(opts.DataDir, core.WALStoreOptions{
+			Sync: opts.DataSync, Now: now,
+		})
+	}
+	if opts.Live {
+		p.sys = core.NewSystemRuntime(p.live, p.live, model, cfg)
+	} else {
 		p.sys = core.NewSystem(p.eng, model, cfg)
 	}
 	p.rng = rand.New(rand.NewSource(opts.Seed + 99))
@@ -389,6 +431,53 @@ func (p *Platform) Faults() FaultStats {
 		fs.ConnsKilled = ls.ConnsKilled
 	}
 	return fs
+}
+
+// DurabilityStats describes the durable-store layer: what recovery
+// found when the platform's stores opened, how their journals have
+// evolved, and what bulk region transfer has saved over point-wise
+// republication. All zero when Options.DataDir is unset (except the
+// transfer counters, which accrue on any platform that migrates or
+// repairs regions).
+type DurabilityStats struct {
+	// DurableNodes is how many live nodes run a durable store.
+	DurableNodes int
+	// RecordsReplayed / SnapshotRecords are summed over nodes: journal
+	// records and snapshot records recovered when their stores opened.
+	RecordsReplayed int
+	SnapshotRecords int
+	// Compactions counts snapshot compactions performed since open;
+	// LogBytes is the summed current journal size.
+	Compactions int
+	LogBytes    int64
+	// SnapshotStamp is the newest compaction stamp across nodes (the
+	// platform clock at that compaction; 0 if never compacted).
+	SnapshotStamp int64
+	// Transfers is the bulk region-transfer accounting: actual stream
+	// cost vs the point-wise counterfactual (see core.TransferStats).
+	Transfers TransferStats
+}
+
+// TransferStats re-exports the bulk-transfer accounting.
+type TransferStats = core.TransferStats
+
+// Durability returns recovery and bulk-transfer statistics.
+func (p *Platform) Durability() DurabilityStats {
+	var ds DurabilityStats
+	p.protocol(func() error {
+		durable, agg := p.sys.RecoverySummary()
+		ds = DurabilityStats{
+			DurableNodes:    durable,
+			RecordsReplayed: agg.RecordsReplayed,
+			SnapshotRecords: agg.SnapshotRecords,
+			Compactions:     agg.Compactions,
+			LogBytes:        agg.LogBytes,
+			SnapshotStamp:   agg.SnapshotStamp,
+			Transfers:       p.sys.TransferStats(),
+		}
+		return nil
+	})
+	return ds
 }
 
 // Traffic summarizes overlay traffic since the platform started.
