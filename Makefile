@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race live-race chaos node-smoke durability-smoke vet lint bench bench-json bench-qps bench-qps-smoke experiments experiments-paper examples clean
+.PHONY: all build test test-short test-race live-race chaos node-smoke durability-smoke repair-smoke vet lint bench bench-json bench-qps bench-qps-smoke experiments experiments-paper examples clean
 
 all: build vet lint test
 
@@ -77,6 +77,17 @@ durability-smoke:
 	$(GO) test -race -count=1 ./internal/wal
 	$(GO) test -race -count=1 -run 'WAL|Durable' ./internal/core ./internal/runtime/netrt .
 	$(GO) run -race ./cmd/lmchaos -procs 4 -objects 1024 -dim 4 -queries 120 -clients 6 -churn 3 -durable
+
+# Replication and anti-entropy smoke (DESIGN.md §15): the replica,
+# failure-detector and mutation tests under the race detector, then the
+# multi-process soak with -replicas 1 and the kill-without-restart
+# phase — one member is SIGKILLed and stays dead while every query must
+# come back Complete and brute-force exact from the streamed replica
+# copies, with the repair counters proving the copies rode the
+# bulk-transfer path (point-wise fallback counter must be zero).
+repair-smoke:
+	$(GO) test -race -count=1 -run 'Replica|AntiEntropy|FailureDetector|Publish|ClientMut|HostileRep' ./internal/runtime/netrt
+	$(GO) run -race ./cmd/lmchaos -procs 4 -objects 1024 -dim 4 -queries 120 -clients 6 -churn 3 -replicas 1 -kill-dead
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./...

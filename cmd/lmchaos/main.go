@@ -23,6 +23,15 @@
 // linked by TCP, with SIGKILL-and-restart churn (see procs.go):
 //
 //	go run -race ./cmd/lmchaos -procs 8 -objects 1024 -dim 4
+//
+// With -replicas K the processes stream region copies to their ring
+// successors; adding -kill-dead appends a kill-without-restart phase
+// that SIGKILLs one member and leaves it dead while brute-force-
+// verifying that every query stays Complete and exact, that the
+// repairs rode the bulk-transfer path (aggregate Repairs > 0), and
+// that the point-wise fallback counter stayed zero:
+//
+//	go run -race ./cmd/lmchaos -procs 4 -replicas 1 -kill-dead
 package main
 
 import (
@@ -57,6 +66,8 @@ func realMain() int {
 		killconn = flag.Float64("killconn", 0.002, "per-frame connection kill probability")
 		procs    = flag.Int("procs", 0, "run the soak over this many real lmnode OS processes instead (SIGKILL churn; see procs.go)")
 		durable  = flag.Bool("durable", false, "with -procs: give each member a data dir; restarted members must recover from their WAL (Recovered=true) or the soak fails")
+		replicas = flag.Int("replicas", 0, "with -procs: each member streams its region to this many ring successors")
+		killDead = flag.Bool("kill-dead", false, "with -procs and -replicas: kill one member without restart and require Complete exact answers while it stays dead")
 		qps      = flag.Float64("qps", 0, "fixed offered load in queries per second across all clients (0 = closed loop)")
 		execs    = flag.Int("executors", 0, "shard index work across this many executors (0/1 = single protocol executor)")
 		batchDly = flag.Duration("batch-delay", 0, "destination-batch flush deadline (0 = batching off)")
@@ -64,16 +75,22 @@ func realMain() int {
 	)
 	flag.Parse()
 
+	if *killDead && (*procs < 2 || *replicas < 1) {
+		fmt.Fprintln(os.Stderr, "lmchaos: -kill-dead needs -procs >= 2 and -replicas >= 1")
+		return 2
+	}
 	if *procs > 0 {
 		return realProcs(procOpts{
-			n:       *procs,
-			seed:    *seed,
-			queries: *queries,
-			clients: *clients,
-			churn:   *churn,
-			objects: *objects,
-			dim:     *dim,
-			durable: *durable,
+			n:        *procs,
+			seed:     *seed,
+			queries:  *queries,
+			clients:  *clients,
+			churn:    *churn,
+			objects:  *objects,
+			dim:      *dim,
+			durable:  *durable,
+			replicas: *replicas,
+			killDead: *killDead,
 		})
 	}
 

@@ -30,14 +30,16 @@ import (
 
 // procOpts carries the flag subset the multi-process soak uses.
 type procOpts struct {
-	n       int
-	seed    int64
-	queries int
-	clients int
-	churn   int
-	objects int
-	dim     int
-	durable bool
+	n        int
+	seed     int64
+	queries  int
+	clients  int
+	churn    int
+	objects  int
+	dim      int
+	durable  bool
+	replicas int
+	killDead bool
 }
 
 // ringProc is one lmnode OS process pinned to a ring slot. The slot's
@@ -73,6 +75,7 @@ func realProcs(o procOpts) int {
 			"-metric", "euclid",
 			"-objects", strconv.Itoa(o.objects),
 			"-dim", strconv.Itoa(o.dim),
+			"-replicas", strconv.Itoa(o.replicas),
 		},
 		procs: make([]*ringProc, o.n),
 	}
@@ -292,6 +295,13 @@ func realProcs(o procOpts) int {
 	}
 	fmt.Printf("lmchaos: recovery verified: all %d members serve complete exact answers\n", o.n)
 
+	if o.killDead {
+		if err := killDeadPhase(o, ring, addrs, ds); err != nil {
+			fmt.Fprintf(os.Stderr, "lmchaos: FAIL: kill-dead: %v\n", err)
+			return 1
+		}
+	}
+
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "lmchaos: FAIL: %d completeness violations\n", failures)
 		return 1
@@ -302,6 +312,165 @@ func realProcs(o procOpts) int {
 	}
 	fmt.Println("lmchaos: PASS: multi-process completeness contract held under SIGKILL churn")
 	return 0
+}
+
+// killDeadPhase is the availability soak: SIGKILL one member and leave
+// it dead. Once every survivor's failure detector marks it down, every
+// query must still come back Complete and brute-force exact — answered
+// from the replica copies streamed before the kill — and the repair
+// counters must show the copies arrived over the bulk-transfer path
+// (aggregate Repairs > 0, RepairChunks > 0) with the point-wise
+// fallback counter at exactly zero. Any regression fails the soak.
+func killDeadPhase(o procOpts, ring *procRing, addrs []string, ds *netrt.Dataset) error {
+	n := len(addrs)
+	wantSynced := o.replicas
+	if wantSynced > n-1 {
+		wantSynced = n - 1
+	}
+	for i, addr := range addrs {
+		if err := waitSyncedOwners(addr, wantSynced, 60*time.Second); err != nil {
+			return fmt.Errorf("member %d (%s) never synced its replica copies: %w", i, addr, err)
+		}
+	}
+	fmt.Printf("lmchaos: kill-dead: every member holds %d synced region copies\n", wantSynced)
+
+	victim := n - 1
+	victimID := netrt.NodeID(addrs[victim])
+	ring.kill(victim)
+	fmt.Printf("lmchaos: kill-dead: SIGKILLed member %d (%s, node %016x) — staying dead\n",
+		victim, addrs[victim], victimID)
+
+	survivors := make([]int, 0, n-1)
+	for i := range addrs {
+		if i != victim {
+			survivors = append(survivors, i)
+		}
+	}
+	for _, i := range survivors {
+		if err := waitDown(addrs[i], victimID, 60*time.Second); err != nil {
+			return fmt.Errorf("member %d (%s) never marked node %016x down: %w", i, addrs[i], victimID, err)
+		}
+	}
+	fmt.Printf("lmchaos: kill-dead: all %d survivors marked the victim down\n", len(survivors))
+
+	cls := make([]*netrt.Client, len(survivors))
+	for j, i := range survivors {
+		cl, err := dialRetry(addrs[i], 10*time.Second)
+		if err != nil {
+			return fmt.Errorf("dial survivor %d (%s): %w", i, addrs[i], err)
+		}
+		defer cl.Close()
+		cls[j] = cl
+	}
+
+	const deadQueries = 40
+	rng := rand.New(rand.NewSource(o.seed + 93))
+	for q := 0; q < deadQueries; q++ {
+		j := q % len(cls)
+		qobj := ds.RandomQuery(rng)
+		r := 0.6 + 0.5*rng.Float64()
+		out, err := cls[j].Query(qobj, r, 15*time.Second)
+		if err != nil {
+			return fmt.Errorf("query %d on member %d with the victim dead: %w", q, survivors[j], err)
+		}
+		if !out.Complete {
+			return fmt.Errorf("query %d on member %d came back incomplete (dropped %d) while the victim was dead — availability regression",
+				q, survivors[j], out.Dropped)
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			return err
+		}
+		if !sameEntries(out.Entries, want) {
+			return fmt.Errorf("query %d on member %d: complete failover answer disagrees with brute force (%d got, %d want)",
+				q, survivors[j], len(out.Entries), len(want))
+		}
+	}
+
+	var repairs, chunks, fallback int64
+	for j, i := range survivors {
+		info, err := cls[j].Info(2 * time.Second)
+		if err != nil {
+			return fmt.Errorf("info from survivor %d: %w", i, err)
+		}
+		repairs += info.Repairs
+		chunks += info.RepairChunks
+		fallback += info.RepairFallback
+	}
+	if repairs == 0 || chunks == 0 {
+		return fmt.Errorf("no bulk repair streams were installed (repairs=%d, chunks=%d)", repairs, chunks)
+	}
+	if fallback != 0 {
+		return fmt.Errorf("repairs used the point-wise fallback %d times; every repair must ride the bulk-transfer path", fallback)
+	}
+	fmt.Printf("lmchaos: kill-dead: %d queries complete-and-exact with a dead member (repairs=%d, chunks=%d, fallback=0)\n",
+		deadQueries, repairs, chunks)
+
+	// Bring the victim back so the soak exits with a whole ring.
+	p, err := ring.spawn(victim, addrs[victim], addrs[survivors[0]])
+	if err != nil {
+		return fmt.Errorf("restart victim: %w", err)
+	}
+	ring.set(victim, p)
+	if ring.dataDirs != nil {
+		if err := assertRecovered(addrs[victim], 15*time.Second); err != nil {
+			return fmt.Errorf("victim restarted without WAL recovery: %w", err)
+		}
+	}
+	if err := waitRecovered(addrs[victim], ds, rng, 60*time.Second); err != nil {
+		return fmt.Errorf("victim never healed after restart: %w", err)
+	}
+	fmt.Println("lmchaos: kill-dead: victim restarted and healed")
+	return nil
+}
+
+// waitSyncedOwners blocks until the node at addr reports at least want
+// synced replica copies.
+func waitSyncedOwners(addr string, want int, window time.Duration) error {
+	cl, err := dialRetry(addr, window)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(window)
+	for {
+		info, err := cl.Info(2 * time.Second)
+		if err != nil {
+			return err
+		}
+		if info.SyncedOwners >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stuck at %d of %d synced owners", info.SyncedOwners, want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitDown blocks until the node at addr marks id down.
+func waitDown(addr string, id uint64, window time.Duration) error {
+	cl, err := dialRetry(addr, window)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(window)
+	for {
+		info, err := cl.Info(2 * time.Second)
+		if err != nil {
+			return err
+		}
+		for _, d := range info.Down {
+			if d == id {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("down set %v never included the victim", info.Down)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // spawn launches one lmnode for ring slot i on addr and waits for its
@@ -324,6 +493,9 @@ func (r *procRing) spawn(i int, addr, join string) (*ringProc, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
+	// Each member gets its own ready deadline; the error names the slot
+	// that never came up, so a wedged spawn in a large ring is
+	// attributable instead of surfacing as a generic timeout downstream.
 	ready := make(chan error, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
@@ -334,7 +506,7 @@ func (r *procRing) spawn(i int, addr, join string) (*ringProc, error) {
 			}
 		}
 		select {
-		case ready <- fmt.Errorf("lmnode exited before its ready line"):
+		case ready <- fmt.Errorf("ring slot %d: lmnode on %s exited before printing its ready line", i, addr):
 		default:
 		}
 		for sc.Scan() { // keep draining so the child never blocks
@@ -347,13 +519,17 @@ func (r *procRing) spawn(i int, addr, join string) (*ringProc, error) {
 			cmd.Wait()
 			return nil, err
 		}
-	case <-time.After(20 * time.Second):
+	case <-time.After(readyTimeout):
 		cmd.Process.Kill()
 		cmd.Wait()
-		return nil, fmt.Errorf("lmnode on %s never became ready", addr)
+		return nil, fmt.Errorf("ring slot %d: lmnode on %s never printed its ready line within %v", i, addr, readyTimeout)
 	}
 	return &ringProc{cmd: cmd}, nil
 }
+
+// readyTimeout bounds how long one spawned lmnode may take to print its
+// ready line (corpus build or WAL recovery included).
+const readyTimeout = 20 * time.Second
 
 func (r *procRing) set(i int, p *ringProc) {
 	r.mu.Lock()

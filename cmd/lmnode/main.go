@@ -22,6 +22,11 @@
 // (the ready line reports recovered=true). Each node needs its own
 // directory; a directory written under a different corpus config is a
 // startup error.
+//
+// With -replicas K (same value ring-wide) each node streams its region
+// to its K ring successors and keeps the copies repaired by periodic
+// digest exchange; queries for a member that the failure detector marks
+// down are answered exactly from the synced copies.
 package main
 
 import (
@@ -50,6 +55,7 @@ func realMain() int {
 		landmarks = flag.Int("landmarks", 0, "landmark count (0 = default)")
 		deadline  = flag.Duration("deadline", 0, "per-query deadline (0 = default)")
 		dataDir   = flag.String("data-dir", "", "durable state directory (restart recovers the corpus from it)")
+		replicas  = flag.Int("replicas", 0, "ring successors holding a streamed copy of this node's region (same value ring-wide)")
 		verbose   = flag.Bool("v", false, "log membership and link events")
 	)
 	flag.Parse()
@@ -63,6 +69,7 @@ func realMain() int {
 		Landmarks: *landmarks,
 		Deadline:  *deadline,
 		DataDir:   *dataDir,
+		Replicas:  *replicas,
 	}
 	for _, j := range strings.Split(*join, ",") {
 		if j = strings.TrimSpace(j); j != "" {

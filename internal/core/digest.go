@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"landmarkdht/internal/lph"
+)
+
+// Region digests for anti-entropy. A region's digest is the XOR of its
+// entries' individual digests, so it is independent of entry order and
+// incrementally updatable: adding or removing one entry XORs its
+// digest in or out, and two regions holding the same entry set agree
+// on the digest no matter how they arrived at it (bulk transfer,
+// replayed publishes, or a mix). XOR cancellation between *different*
+// entries is as likely as a 64-bit hash collision — fine for
+// scheduling repairs, which re-verify the full digest after the
+// transfer anyway.
+
+// EntryDigest hashes one entry — its ring key, object id, exact point
+// coordinates, and optional encoded object bytes — into a 64-bit
+// FNV-1a digest. The point is hashed bit-for-bit (it is stored ground
+// truth, see the region codec), so two entries differing by one ulp
+// digest differently.
+func EntryDigest(key lph.Key, e Entry, obj []byte) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	h.Write(b[:])
+	binary.BigEndian.PutUint32(b[:4], uint32(e.Obj))
+	h.Write(b[:4])
+	for _, c := range e.Point {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(c))
+		h.Write(b[:])
+	}
+	h.Write(obj)
+	return h.Sum64()
+}
+
+// RegionDigest folds a key/entry batch into one order-independent
+// digest (no object bytes — the paper-shape regions carry none).
+func RegionDigest(keys []lph.Key, entries []Entry) uint64 {
+	var d uint64
+	for i := range entries {
+		d ^= EntryDigest(keys[i], entries[i], nil)
+	}
+	return d
+}
+
+// StoreDigest summarizes one index of a Store for an anti-entropy
+// exchange: the entry count and the combined digest, computed over the
+// store's backing slices without copying them.
+func StoreDigest(s Store, index string) (entries int, digest uint64) {
+	s.View(index, func(keys []lph.Key, ents []Entry) {
+		entries = len(ents)
+		digest = RegionDigest(keys, ents)
+	})
+	return entries, digest
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"landmarkdht/internal/lph"
+)
+
+func digestFixture(n int) ([]lph.Key, []Entry) {
+	keys := make([]lph.Key, n)
+	entries := make([]Entry, n)
+	for i := range entries {
+		keys[i] = lph.Key(uint64(i)*0x9E3779B97F4A7C15 + 1)
+		entries[i] = Entry{Obj: ObjectID(i), Point: []float64{float64(i), 1.5 * float64(i)}}
+	}
+	return keys, entries
+}
+
+func TestRegionDigestOrderIndependent(t *testing.T) {
+	keys, entries := digestFixture(200)
+	want := RegionDigest(keys, entries)
+	// Reverse the region: same set, same digest.
+	rk := make([]lph.Key, len(keys))
+	re := make([]Entry, len(entries))
+	for i := range keys {
+		rk[len(keys)-1-i] = keys[i]
+		re[len(keys)-1-i] = entries[i]
+	}
+	if got := RegionDigest(rk, re); got != want {
+		t.Fatalf("reversed region digests to %x, want %x", got, want)
+	}
+	if RegionDigest(nil, nil) != 0 {
+		t.Fatal("empty region must digest to zero")
+	}
+}
+
+func TestRegionDigestIncremental(t *testing.T) {
+	keys, entries := digestFixture(100)
+	full := RegionDigest(keys, entries)
+	// Removing one entry is one XOR; adding it back restores the digest.
+	without := full ^ EntryDigest(keys[17], entries[17], nil)
+	if got := RegionDigest(append(append([]lph.Key(nil), keys[:17]...), keys[18:]...),
+		append(append([]Entry(nil), entries[:17]...), entries[18:]...)); got != without {
+		t.Fatalf("incremental removal: %x, recomputed %x", without, got)
+	}
+	if without^EntryDigest(keys[17], entries[17], nil) != full {
+		t.Fatal("re-adding the entry does not restore the digest")
+	}
+}
+
+func TestEntryDigestSensitivity(t *testing.T) {
+	base := Entry{Obj: 7, Point: []float64{0.25, 0.5}}
+	d := EntryDigest(42, base, []byte("obj"))
+	// Every field must matter.
+	if EntryDigest(43, base, []byte("obj")) == d {
+		t.Fatal("key change not reflected")
+	}
+	if EntryDigest(42, Entry{Obj: 8, Point: base.Point}, []byte("obj")) == d {
+		t.Fatal("object id change not reflected")
+	}
+	if EntryDigest(42, Entry{Obj: 7, Point: []float64{0.25, 0.5000000001}}, []byte("obj")) == d {
+		t.Fatal("point change not reflected")
+	}
+	if EntryDigest(42, base, []byte("obk")) == d {
+		t.Fatal("object bytes change not reflected")
+	}
+}
+
+func TestStoreDigestMatchesRegionDigest(t *testing.T) {
+	keys, entries := digestFixture(50)
+	s := NewMemStore()
+	if err := s.PutBatch("ix", keys, entries); err != nil {
+		t.Fatal(err)
+	}
+	n, d := StoreDigest(s, "ix")
+	if n != 50 {
+		t.Fatalf("store digest counts %d entries, want 50", n)
+	}
+	if want := RegionDigest(keys, entries); d != want {
+		t.Fatalf("store digest %x, want %x", d, want)
+	}
+	// A divergent copy (one entry dropped) must disagree.
+	s2 := NewMemStore()
+	if err := s2.PutBatch("ix", keys[1:], entries[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, d2 := StoreDigest(s2, "ix"); d2 == d {
+		t.Fatal("divergent stores share a digest")
+	}
+}

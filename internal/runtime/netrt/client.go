@@ -37,6 +37,19 @@ type Info struct {
 	// on a durable node's first boot.
 	Recovered bool
 	Replayed  int
+	// Replication and failure-detection state: the configured factor,
+	// the members this node's detector currently marks down, the owners
+	// whose regions it holds synced copies of, its live published
+	// entries, and the repair counters (bulk streams installed, chunks
+	// received, point-wise fallbacks — always zero; the chaos soak
+	// asserts repairs ride the bulk path by checking it).
+	Replicas       int
+	Down           []uint64
+	SyncedOwners   int
+	Extras         int
+	Repairs        int64
+	RepairChunks   int64
+	RepairFallback int64
 }
 
 // Dial connects to a node and completes the client handshake.
@@ -200,7 +213,43 @@ func (c *Client) Info(timeout time.Duration) (Info, error) {
 	return Info{
 		ID: in.ID, Addr: in.Addr, Members: in.Members, Store: in.Store,
 		Recovered: in.Recovered, Replayed: in.Replayed,
+		Replicas: in.Replicas, Down: in.Down,
+		SyncedOwners: in.SyncedOwners, Extras: in.Extras,
+		Repairs:      in.Repairs,
+		RepairChunks: in.RepairChunks, RepairFallback: in.RepairFallback,
 	}, nil
+}
+
+// Publish inserts one object under id on the ring (routed to the owner
+// of its ring key, journaled when the owner is durable, fanned out to
+// the owner's replicas). The id must not collide with the
+// deterministic corpus.
+func (c *Client) Publish(id int32, obj []byte, timeout time.Duration) error {
+	return c.mutate(kindClientPublish, clientPublishMsg{ID: id, Obj: obj}, timeout)
+}
+
+// Delete removes one entry: a boot-corpus entry by id alone, or a
+// published entry by id plus its encoded object.
+func (c *Client) Delete(id int32, obj []byte, timeout time.Duration) error {
+	return c.mutate(kindClientDelete, clientDeleteMsg{ID: id, Obj: obj}, timeout)
+}
+
+func (c *Client) mutate(kind byte, msg any, timeout time.Duration) error {
+	k, body, err := c.roundTrip(kind, msg, timeout)
+	if err != nil {
+		return err
+	}
+	if k != kindClientMutR {
+		return fmt.Errorf("netrt: unexpected reply kind %d", k)
+	}
+	var res clientMutRMsg
+	if err := decodeBody(body, &res); err != nil {
+		return err
+	}
+	if res.Err != "" {
+		return fmt.Errorf("netrt: %s", res.Err)
+	}
+	return nil
 }
 
 // Close tears the client connection down, reporting the connection's

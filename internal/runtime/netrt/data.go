@@ -71,6 +71,18 @@ type corpus interface {
 	Evaluator(qobj []byte) (func(i int) float64, error)
 	// RandomQuery draws a random encoded query object from rng.
 	RandomQuery(rng *rand.Rand) []byte
+	// ObjBytes returns entry i's encoded object — replica streams and
+	// digests are self-describing, so copies answer exact distances
+	// without assuming the holder can re-derive the object.
+	ObjBytes(i int) []byte
+	// MapObj maps an encoded object into the index: its ring key (the
+	// routing position an online publish or delete goes to) and its
+	// index-space point.
+	MapObj(obj []byte) (lph.Key, []float64, error)
+	// Dister decodes a query object once and returns an exact-distance
+	// evaluator over encoded object bytes (replica copies and published
+	// entries carry bytes, not corpus indices).
+	Dister(qobj []byte) (func(obj []byte) (float64, error), error)
 	// persist emits the durable record stream (meta, landmarks,
 	// entries) that openDurable can restore the corpus from.
 	persist(cfg DataConfig, emit func(payload []byte) error) error
@@ -125,6 +137,31 @@ func (d *dataset[T]) Evaluator(qobj []byte) (func(i int) float64, error) {
 }
 
 func (d *dataset[T]) RandomQuery(rng *rand.Rand) []byte { return d.random(rng) }
+
+func (d *dataset[T]) ObjBytes(i int) []byte { return d.enc(d.objs[i]) }
+
+func (d *dataset[T]) MapObj(obj []byte) (lph.Key, []float64, error) {
+	o, err := d.dec(obj)
+	if err != nil {
+		return 0, nil, err
+	}
+	p := d.emb.Map(o)
+	return d.part.MapPoint(p), p, nil
+}
+
+func (d *dataset[T]) Dister(qobj []byte) (func(obj []byte) (float64, error), error) {
+	q, err := d.dec(qobj)
+	if err != nil {
+		return nil, err
+	}
+	return func(obj []byte) (float64, error) {
+		o, err := d.dec(obj)
+		if err != nil {
+			return 0, err
+		}
+		return d.space.Dist(q, o), nil
+	}, nil
+}
 
 // buildCorpus derives the full corpus from the config: objects,
 // landmarks (greedy max-min over a sample), the index-space embedding

@@ -14,12 +14,20 @@ package netrt
 //	meta     [tag=1 | 1B metric len | metric | 8B seed | 4B objects | 4B dim | 4B landmarks]
 //	landmark [tag=2 | encoded object]
 //	entry    [tag=3 | 4B idx | 8B key | 2B point len | 8B per comp | encoded object]
+//	publish  [tag=4 | 4B id  | 8B key | 2B point len | 8B per comp | encoded object]
+//	delete   [tag=5 | 4B id]
 //
 // All integers big-endian. The meta record guards against pointing a
 // node at a directory built for a different corpus: mismatch is a loud
 // error, never a silent rebuild. Likewise mid-log corruption
 // (wal.ErrCorrupt) aborts startup rather than falling back to
 // regeneration — a rebuilt corpus would silently mask durability bugs.
+//
+// The first three tags form the corpus snapshot, written once by
+// Compact on first boot. Publish and delete records are incremental:
+// every online mutation the node applies as owner appends exactly one
+// record (publish.go), and a restart replays them in log order on top
+// of the recovered corpus — the snapshot is never recompacted online.
 
 import (
 	"bytes"
@@ -38,6 +46,8 @@ const (
 	recMeta     byte = 1
 	recLandmark byte = 2
 	recEntry    byte = 3
+	recPublish  byte = 4
+	recDelete   byte = 5
 )
 
 // encodeMeta builds the meta record payload for cfg (defaults already
@@ -67,11 +77,22 @@ type rawEntry struct {
 	set   bool
 }
 
+// durableMut is one replayed online mutation, applied in log order on
+// top of the recovered corpus (publish.go's applyRecovered).
+type durableMut struct {
+	id    int32
+	key   lph.Key
+	point []float64
+	obj   []byte
+	del   bool
+}
+
 // rawState accumulates the record stream during replay.
 type rawState struct {
 	meta      []byte
 	landmarks [][]byte
 	entries   []rawEntry
+	muts      []durableMut
 	replayed  int
 }
 
@@ -110,10 +131,71 @@ func (r *rawState) add(p []byte) error {
 			obj:   append([]byte(nil), rest[8*plen:]...),
 			set:   true,
 		}
+	case recPublish:
+		const hdr = 1 + 4 + 8 + 2
+		if len(p) < hdr {
+			return fmt.Errorf("netrt: publish record truncated (%d bytes)", len(p))
+		}
+		id := int32(binary.BigEndian.Uint32(p[1:]))
+		key := lph.Key(binary.BigEndian.Uint64(p[5:]))
+		plen := int(binary.BigEndian.Uint16(p[13:]))
+		rest := p[hdr:]
+		if len(rest) < 8*plen {
+			return fmt.Errorf("netrt: publish record %d point truncated", id)
+		}
+		point := make([]float64, plen)
+		for j := range point {
+			point[j] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*j:]))
+		}
+		r.muts = append(r.muts, durableMut{
+			id: id, key: key, point: point,
+			obj: append([]byte(nil), rest[8*plen:]...),
+		})
+	case recDelete:
+		if len(p) != 5 {
+			return fmt.Errorf("netrt: delete record is %d bytes, want 5", len(p))
+		}
+		r.muts = append(r.muts, durableMut{id: int32(binary.BigEndian.Uint32(p[1:])), del: true})
 	default:
 		return fmt.Errorf("netrt: unknown durable record tag %d", p[0])
 	}
 	return nil
+}
+
+// journalMutation appends one mutation record to the node's WAL — an
+// incremental append, never a recompaction. Nodes without a data
+// directory skip it. Executor context: the WAL's interval-sync append
+// is a buffered file write, the same budget as the boot-time snapshot.
+//
+//lint:context executor
+func (n *Node) journalMutation(m *pubMsg) {
+	if n.store == nil {
+		return
+	}
+	var rec []byte
+	if m.Delete {
+		rec = make([]byte, 5)
+		rec[0] = recDelete
+		binary.BigEndian.PutUint32(rec[1:], uint32(m.ID))
+	} else {
+		e := n.extras[m.ID]
+		var u [8]byte
+		rec = append(rec, recPublish)
+		binary.BigEndian.PutUint32(u[:4], uint32(m.ID))
+		rec = append(rec, u[:4]...)
+		binary.BigEndian.PutUint64(u[:], uint64(e.key))
+		rec = append(rec, u[:]...)
+		binary.BigEndian.PutUint16(u[:2], uint16(len(e.point)))
+		rec = append(rec, u[:2]...)
+		for _, x := range e.point {
+			binary.BigEndian.PutUint64(u[:], math.Float64bits(x))
+			rec = append(rec, u[:]...)
+		}
+		rec = append(rec, e.obj...)
+	}
+	if err := n.store.Append(rec); err != nil {
+		n.logf("durable append failed: %v", err)
+	}
 }
 
 // persist emits the full record stream for the dataset: meta, then
@@ -208,45 +290,46 @@ func restoreCorpus(cfg DataConfig, raw *rawState) (corpus, error) {
 	}
 }
 
-// openDurable returns the node's corpus backed by the data directory.
-// On first boot (empty directory) the corpus is built from cfg and
-// snapshotted; on later boots it is restored entirely from disk —
-// recovered reports which path ran, and replayed how many records were
-// read. A directory built for a different config, or a corrupt log,
-// is a hard error: falling back to regeneration would silently defeat
-// the durability guarantee.
-func openDurable(dir string, cfg DataConfig) (c corpus, recovered bool, replayed int, err error) {
+// openDurable returns the node's corpus backed by the data directory,
+// plus the still-open store — the node keeps it for incremental
+// mutation appends and closes it at shutdown. On first boot (empty
+// directory) the corpus is built from cfg and snapshotted; on later
+// boots it is restored entirely from disk — recovered reports which
+// path ran, replayed how many records were read, and muts the online
+// mutations to replay on top. A directory built for a different
+// config, or a corrupt log, is a hard error: falling back to
+// regeneration would silently defeat the durability guarantee.
+func openDurable(dir string, cfg DataConfig) (corpus, *wal.Store, bool, int, []durableMut, error) {
 	cfg.fillDefaults()
 	var raw rawState
 	apply := func(p []byte) error { return raw.add(p) }
 	st, err := wal.OpenStore(dir, wal.Options{Sync: wal.SyncInterval}, apply, apply)
 	if err != nil {
-		return nil, false, 0, fmt.Errorf("netrt: open data dir %s: %w", dir, err)
+		return nil, nil, false, 0, nil, fmt.Errorf("netrt: open data dir %s: %w", dir, err)
 	}
-	defer func() {
-		if cerr := st.Close(); cerr != nil && err == nil {
-			c, recovered, replayed, err = nil, false, 0, cerr
-		}
-	}()
+	fail := func(err error) (corpus, *wal.Store, bool, int, []durableMut, error) {
+		_ = st.Close() // startup already failing; the original error is the signal
+		return nil, nil, false, 0, nil, err
+	}
 	if raw.meta == nil {
-		c, err = buildCorpus(cfg)
+		c, err := buildCorpus(cfg)
 		if err != nil {
-			return nil, false, 0, err
+			return fail(err)
 		}
 		err = st.Compact(time.Now().UnixNano(), func(emit func(payload []byte) error) error {
 			return c.persist(cfg, emit)
 		})
 		if err != nil {
-			return nil, false, 0, fmt.Errorf("netrt: persist corpus to %s: %w", dir, err)
+			return fail(fmt.Errorf("netrt: persist corpus to %s: %w", dir, err))
 		}
-		return c, false, 0, nil
+		return c, st, false, 0, nil, nil
 	}
 	if want := encodeMeta(cfg); !bytes.Equal(raw.meta, want) {
-		return nil, false, 0, fmt.Errorf("netrt: data dir %s was built for a different corpus config", dir)
+		return fail(fmt.Errorf("netrt: data dir %s was built for a different corpus config", dir))
 	}
-	c, err = restoreCorpus(cfg, &raw)
+	c, err := restoreCorpus(cfg, &raw)
 	if err != nil {
-		return nil, false, 0, err
+		return fail(err)
 	}
-	return c, true, raw.replayed, nil
+	return c, st, true, raw.replayed, raw.muts, nil
 }

@@ -15,19 +15,25 @@ func TestDurableCorpusRoundTrip(t *testing.T) {
 		{Metric: "edit", Seed: 3, Objects: 256, Landmarks: 4},
 	} {
 		dir := t.TempDir()
-		built, recovered, _, err := openDurable(dir, cfg)
+		built, st1, recovered, _, _, err := openDurable(dir, cfg)
 		if err != nil {
 			t.Fatalf("%s first boot: %v", cfg.Metric, err)
+		}
+		if err := st1.Close(); err != nil {
+			t.Fatal(err)
 		}
 		if recovered {
 			t.Fatalf("%s: first boot on an empty dir claims recovery", cfg.Metric)
 		}
-		restored, recovered, replayed, err := openDurable(dir, cfg)
+		restored, st2, recovered, replayed, _, err := openDurable(dir, cfg)
 		if err != nil {
 			t.Fatalf("%s recovery: %v", cfg.Metric, err)
 		}
 		if !recovered {
 			t.Fatalf("%s: second boot did not recover from disk", cfg.Metric)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
 		}
 		// meta + landmarks + entries, all snapshotted at first boot.
 		if want := 1 + 4 + cfg.Objects; replayed != want {
@@ -78,12 +84,16 @@ func TestDurableCorpusRoundTrip(t *testing.T) {
 func TestDurableConfigMismatchRefused(t *testing.T) {
 	dir := t.TempDir()
 	cfg := testData()
-	if _, _, _, err := openDurable(dir, cfg); err != nil {
+	_, st, _, _, _, err := openDurable(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	other := cfg
 	other.Seed = 999
-	if _, _, _, err := openDurable(dir, other); err == nil {
+	if _, _, _, _, _, err := openDurable(dir, other); err == nil {
 		t.Fatal("openDurable accepted a directory built for a different seed")
 	}
 }

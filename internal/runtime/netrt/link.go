@@ -37,9 +37,12 @@ type linkHost interface {
 	// dialPeer dials addr and completes the peer handshake, returning
 	// the connection and the remote's node ID.
 	dialPeer(addr string) (net.Conn, uint64, error)
-	// handleFrame processes one decoded peer frame (on the host's
-	// protocol executor). body is owned by the callee.
-	handleFrame(peer uint64, kind byte, body []byte)
+	// handleFrame processes one decoded peer frame. body is only valid
+	// for the duration of the call (the reader reuses its buffer) —
+	// hosts that defer work copy it first. A non-nil error proves the
+	// peer hostile (typed wire.FrameError on the binary replication
+	// frames) and drops the link.
+	handleFrame(peer uint64, kind byte, body []byte) error
 	// nextFrameID returns a fresh frame id.
 	nextFrameID() uint64
 	// linkFaults builds the transport-fault hook for a peer's reader
@@ -265,9 +268,11 @@ func (l *link) readLoop(conn net.Conn, peer uint64) {
 			l.detach(conn)
 			return
 		}
-		// The read buffer is reused for the next frame; the handler
-		// runs later on the executor, so it gets its own copy.
-		l.host.handleFrame(peer, kind, append([]byte(nil), body...))
+		if err := l.host.handleFrame(peer, kind, body); err != nil {
+			// A hostile or corrupt stream: drop the link, never panic.
+			l.detach(conn)
+			return
+		}
 		if faults.KillConn() {
 			l.host.countFault("kill")
 			l.detach(conn)

@@ -33,12 +33,12 @@ func (h *fakeHost) dialPeer(addr string) (net.Conn, uint64, error) {
 	return conn, w.From, nil
 }
 
-func (h *fakeHost) handleFrame(peer uint64, kind byte, body []byte) {}
-func (h *fakeHost) nextFrameID() uint64                             { return h.frameID.Add(1) }
-func (h *fakeHost) linkFaults(peer uint64) *runtime.LinkFaults      { return nil }
-func (h *fakeHost) linkSeed(addr string) int64                      { return 7 }
-func (h *fakeHost) countFault(string)                               {}
-func (h *fakeHost) maxQueue() int                                   { return 8 }
+func (h *fakeHost) handleFrame(peer uint64, kind byte, body []byte) error { return nil }
+func (h *fakeHost) nextFrameID() uint64                                   { return h.frameID.Add(1) }
+func (h *fakeHost) linkFaults(peer uint64) *runtime.LinkFaults            { return nil }
+func (h *fakeHost) linkSeed(addr string) int64                            { return 7 }
+func (h *fakeHost) countFault(string)                                     {}
+func (h *fakeHost) maxQueue() int                                         { return 8 }
 
 // peerServer is a hand-rolled remote: it accepts connections, answers
 // the peer handshake, and forwards every received frame payload to

@@ -65,8 +65,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"landmarkdht/internal/core"
 	"landmarkdht/internal/runtime"
 	"landmarkdht/internal/runtime/livert"
+	"landmarkdht/internal/wal"
+	"landmarkdht/internal/wire"
 )
 
 // Config parameterizes one ring node.
@@ -96,6 +99,26 @@ type Config struct {
 	TTL int
 	// GossipPeriod is the anti-entropy interval (default 500ms).
 	GossipPeriod time.Duration
+	// Replicas is the replication factor: every member streams a full
+	// copy of its owned region to this many ring successors (via the
+	// bulk region-transfer frames), and queries for a down owner are
+	// answered from a synced copy so they stay complete and exact while
+	// the owner is dead. 0 (the default) disables replication; the
+	// failure detector still runs.
+	Replicas int
+	// HeartbeatPeriod is the failure-detector probe interval (default
+	// 250ms).
+	HeartbeatPeriod time.Duration
+	// SuspectAfter is how many consecutive unanswered heartbeat probes
+	// mark a member down (default 4). Suspicion halves on every answered
+	// probe and a down member comes back as soon as it answers again —
+	// never a permanent blacklist, matching the link layer's reconnect
+	// policy.
+	SuspectAfter int
+	// AntiEntropyPeriod is the owner↔replica digest-exchange interval
+	// (default 1s). Divergence detected by an exchange schedules a bulk
+	// re-stream of the owner's region.
+	AntiEntropyPeriod time.Duration
 	// Faults injects transport-level failures into peer links through
 	// the shared runtime.LinkFaults path, exactly as on livert.
 	Faults *runtime.FaultPolicy
@@ -115,6 +138,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.GossipPeriod <= 0 {
 		c.GossipPeriod = 500 * time.Millisecond
+	}
+	if c.Replicas < 0 {
+		c.Replicas = 0
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 250 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 4
+	}
+	if c.AntiEntropyPeriod <= 0 {
+		c.AntiEntropyPeriod = time.Second
 	}
 }
 
@@ -145,6 +180,27 @@ type Node struct {
 	gossip    *runtime.Ticker
 	announceB []byte // scratch: encoded announce payload
 
+	// Replication and failure detection (executor-owned; see failure.go,
+	// replica.go, publish.go).
+	hb          map[uint64]*hbState // heartbeat state per known member
+	heartbeat   *runtime.Ticker
+	antiEntropy *runtime.Ticker
+	entryDig    []uint64                // per-boot-entry digest, fixed at Start
+	mineDigest  uint64                  // digest of the live owned region (∖tombs ∪ extras)
+	mineCount   int                     // live entries in the owned region
+	tombs       map[int32]struct{}      // deleted boot-corpus entries
+	extras      map[int32]repEntry      // published entries owned here
+	copies      map[uint64]*replicaCopy // replica copies held here, by owner
+	pushes      map[uint64]*repPush     // outbound replica streams, by target
+	pushByXfer  map[uint64]*repPush     // the same streams, by transfer id
+	staging     map[uint64]*repStage    // inbound replica streams, by transfer id
+	stageOwner  map[uint64]uint64       // owner → transfer id of its in-flight stage
+	nextXfer    uint64
+	nextRID     uint64
+	pubs        map[uint64]*pendingPub // in-flight mutations originated here, by rid
+
+	store *wal.Store // durable journal; nil without Config.DataDir
+
 	// memberSnap mirrors the membership for non-executor contexts
 	// (handshakes); it holds a []Member sorted by ID.
 	memberSnap atomic.Value
@@ -158,6 +214,11 @@ type Node struct {
 	frameID       atomic.Uint64
 	framesDropped atomic.Int64
 	connsKilled   atomic.Int64
+
+	repairsApplied atomic.Int64 // bulk replica streams installed here
+	repairChunksRx atomic.Int64 // chunks received on installed streams
+	repairsSent    atomic.Int64 // bulk streams fully acked as the sender
+	repairFallback atomic.Int64 // point-wise repairs (no such path exists; stays 0)
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -177,12 +238,14 @@ func Start(cfg Config) (*Node, error) {
 	cfg.fillDefaults()
 	var (
 		data      corpus
+		store     *wal.Store
 		recovered bool
 		replayed  int
+		muts      []durableMut
 		err       error
 	)
 	if cfg.DataDir != "" {
-		data, recovered, replayed, err = openDurable(cfg.DataDir, cfg.Data)
+		data, store, recovered, replayed, muts, err = openDurable(cfg.DataDir, cfg.Data)
 	} else {
 		data, err = buildCorpus(cfg.Data)
 	}
@@ -191,6 +254,9 @@ func Start(cfg Config) (*Node, error) {
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
+		if store != nil {
+			_ = store.Close() // startup already failing; the listen error is the signal
+		}
 		return nil, err
 	}
 	n := &Node{
@@ -200,25 +266,57 @@ func Start(cfg Config) (*Node, error) {
 		// A restarted process has the same identity and restarts its
 		// qid counter, so returns are routed by (epoch, qid): frames
 		// queued for a dead incarnation cannot leak into this one.
-		epoch:     uint64(time.Now().UnixNano()),
-		data:      data,
-		recovered: recovered,
-		replayed:  replayed,
-		ln:        ln,
-		members:   make(map[uint64]string),
-		queries:   make(map[uint64]*originQuery),
-		links:     make(map[string]*link),
-		clients:   make(map[net.Conn]struct{}),
+		epoch:      uint64(time.Now().UnixNano()),
+		data:       data,
+		recovered:  recovered,
+		replayed:   replayed,
+		ln:         ln,
+		members:    make(map[uint64]string),
+		queries:    make(map[uint64]*originQuery),
+		links:      make(map[string]*link),
+		clients:    make(map[net.Conn]struct{}),
+		hb:         make(map[uint64]*hbState),
+		tombs:      make(map[int32]struct{}),
+		extras:     make(map[int32]repEntry),
+		copies:     make(map[uint64]*replicaCopy),
+		pushes:     make(map[uint64]*repPush),
+		pushByXfer: make(map[uint64]*repPush),
+		staging:    make(map[uint64]*repStage),
+		stageOwner: make(map[uint64]uint64),
+		pubs:       make(map[uint64]*pendingPub),
+		store:      store,
 	}
 	n.id = NodeID(n.addr)
+	// Per-entry digests are fixed for the node's lifetime: the live
+	// region's digest is maintained incrementally by XORing them in and
+	// out as ownership and mutations change (see core's digest docs).
+	n.entryDig = make([]uint64, data.N())
+	for i := range n.entryDig {
+		n.entryDig[i] = core.EntryDigest(data.Key(i),
+			core.Entry{Obj: core.ObjectID(i), Point: data.Point(i)}, data.ObjBytes(i))
+	}
 	n.rt = livert.New(livert.Config{Seed: cfg.Data.Seed ^ int64(n.id)})
 	if err := n.rt.Do(func() {
+		// Replay journaled online mutations before the first view build
+		// so rebuildView folds them into the region digest.
+		for _, m := range muts {
+			n.applyRecovered(m)
+		}
 		n.addMember(n.id, n.addr)
 		n.gossip = runtime.NewTicker(n.rt,
 			time.Duration(n.rt.Rand().Int63n(int64(cfg.GossipPeriod))),
 			cfg.GossipPeriod, n.gossipTick)
+		n.heartbeat = runtime.NewTicker(n.rt,
+			time.Duration(n.rt.Rand().Int63n(int64(cfg.HeartbeatPeriod))),
+			cfg.HeartbeatPeriod, n.heartbeatTick)
+		n.antiEntropy = runtime.NewTicker(n.rt,
+			time.Duration(n.rt.Rand().Int63n(int64(cfg.AntiEntropyPeriod))),
+			cfg.AntiEntropyPeriod, n.antiEntropyTick)
 	}); err != nil {
 		_ = ln.Close() //lint:allow errdrop best-effort teardown of a listener the node never used
+		if store != nil {
+			_ = store.Close() // startup already failing; the executor error is the signal
+		}
 		return nil, err
 	}
 	n.wg.Add(1)
@@ -275,6 +373,22 @@ func (n *Node) Close() {
 		if n.gossip != nil {
 			n.gossip.Stop()
 		}
+		if n.heartbeat != nil {
+			n.heartbeat.Stop()
+		}
+		if n.antiEntropy != nil {
+			n.antiEntropy.Stop()
+		}
+		for _, p := range n.pushes {
+			if p.timer != nil {
+				p.timer.Stop()
+			}
+		}
+		for rid, pp := range n.pubs {
+			pp.timer.Stop()
+			delete(n.pubs, rid)
+			pp.done(ErrNodeClosed)
+		}
 		for qid, oq := range n.queries {
 			oq.deadline.Stop()
 			delete(n.queries, qid)
@@ -282,6 +396,9 @@ func (n *Node) Close() {
 		}
 	})
 	n.rt.Close()
+	if n.store != nil {
+		_ = n.store.Close() // shutdown teardown; the journal synced on every append interval
+	}
 	n.wg.Wait()
 }
 
@@ -340,32 +457,89 @@ func (n *Node) dialPeer(addr string) (net.Conn, uint64, error) {
 	return conn, w.From, nil
 }
 
-// handleFrame routes one decoded peer frame onto the executor.
-func (n *Node) handleFrame(peer uint64, kind byte, body []byte) {
+// handleFrame routes one peer frame onto the executor. The binary
+// replication frames are decoded synchronously — a hostile or truncated
+// stream surfaces as a typed wire.FrameError here and the reader drops
+// the link before anything is scheduled (the decoded structs own their
+// memory, so the reader's buffer reuse is safe). Gob frames are copied
+// and decoded on the executor as before; a gob that fails to decode is
+// ignored rather than fatal (gob tolerates unknown fields, so a decode
+// failure is a damaged frame, not necessarily a hostile peer).
+func (n *Node) handleFrame(peer uint64, kind byte, body []byte) error {
+	switch kind {
+	case kindRepChunk:
+		c, err := wire.DecodeChunk(body)
+		if err != nil {
+			return err
+		}
+		n.rt.Schedule(0, func() { n.onRepChunk(peer, c) })
+		return nil
+	case kindRepAck:
+		a, err := wire.DecodeAck(body)
+		if err != nil {
+			return err
+		}
+		n.rt.Schedule(0, func() { n.onRepAck(a) })
+		return nil
+	case kindRepDigest:
+		d, err := wire.DecodeDigest(body)
+		if err != nil {
+			return err
+		}
+		n.rt.Schedule(0, func() { n.onRepDigest(peer, d) })
+		return nil
+	}
+	cp := append([]byte(nil), body...)
 	n.rt.Schedule(0, func() {
 		switch kind {
 		case kindAnnounce:
 			var a announceMsg
-			if decodeBody(body, &a) == nil {
+			if decodeBody(cp, &a) == nil {
 				n.mergeMembers(a.Members)
 			}
 		case kindQuery:
 			var q queryMsg
-			if decodeBody(body, &q) == nil {
+			if decodeBody(cp, &q) == nil {
 				n.process(&q)
 			}
 		case kindResult:
 			var res resultMsg
-			if decodeBody(body, &res) == nil {
+			if decodeBody(cp, &res) == nil {
 				n.onReturn(res.Epoch, res.QID, res.Credit, res.Entries, false)
 			}
 		case kindDrop:
 			var d dropMsg
-			if decodeBody(body, &d) == nil {
+			if decodeBody(cp, &d) == nil {
 				n.onReturn(d.Epoch, d.QID, d.Credit, nil, true)
+			}
+		case kindPing:
+			var p pingMsg
+			if decodeBody(cp, &p) == nil {
+				n.onPing(&p)
+			}
+		case kindPong:
+			var p pongMsg
+			if decodeBody(cp, &p) == nil {
+				n.onPong(&p)
+			}
+		case kindRepBegin:
+			var b repBeginMsg
+			if decodeBody(cp, &b) == nil {
+				n.onRepBegin(peer, &b)
+			}
+		case kindPublish:
+			var m pubMsg
+			if decodeBody(cp, &m) == nil {
+				n.onPublish(&m)
+			}
+		case kindPubAck:
+			var a pubAckMsg
+			if decodeBody(cp, &a) == nil {
+				n.onPubAck(&a)
 			}
 		}
 	})
+	return nil
 }
 
 // ---- membership (executor-owned) ----
@@ -415,11 +589,26 @@ func (n *Node) rebuildView() {
 	}
 	sort.Slice(n.ring, func(i, j int) bool { return n.ring[i] < n.ring[j] })
 	n.owned = n.owned[:0]
+	// The live-region digest is recomputed with the ownership: XOR of
+	// the owned boot entries (minus tombstones) and the published
+	// extras, in any order.
+	var dig uint64
+	cnt := 0
 	for i := 0; i < n.data.N(); i++ {
 		if n.successor(uint64(n.data.Key(i))) == n.id {
 			n.owned = append(n.owned, i)
+			if _, dead := n.tombs[int32(i)]; dead {
+				continue
+			}
+			dig ^= n.entryDig[i]
+			cnt++
 		}
 	}
+	for _, e := range n.extras {
+		dig ^= e.dig
+		cnt++
+	}
+	n.mineDigest, n.mineCount = dig, cnt
 	snap := make([]Member, len(n.ring))
 	for i, id := range n.ring {
 		snap[i] = Member{ID: id, Addr: n.members[id]}
@@ -491,6 +680,15 @@ func (n *Node) sendTo(addr string, kind byte, msg any) {
 	if err != nil {
 		return
 	}
+	n.sendRaw(addr, payload)
+}
+
+// sendRaw queues one already-encoded frame payload on the peer's link —
+// the replication path pre-encodes its binary frames once per stream.
+func (n *Node) sendRaw(addr string, payload []byte) {
+	if addr == "" || addr == n.addr {
+		return
+	}
 	if l := n.ensureLink(addr); l != nil {
 		l.enqueue(payload)
 	}
@@ -510,7 +708,7 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// LinkStats aggregates the node's link-layer counters.
+// LinkStats aggregates the node's link-layer and repair counters.
 type LinkStats struct {
 	Links         int
 	Queued        int
@@ -519,6 +717,15 @@ type LinkStats struct {
 	Sent          int64
 	FramesDropped int64
 	ConnsKilled   int64
+
+	// Repair counters (see replica.go). RepairFallback counts point-wise
+	// repairs; no such path exists, so it stays 0 — the chaos soak
+	// asserts repairs ride the bulk-transfer path by checking exactly
+	// this.
+	Repairs        int64 // bulk replica streams installed at this node
+	RepairChunks   int64 // chunks received on installed streams
+	RepairsSent    int64 // bulk streams fully acked as the sender
+	RepairFallback int64
 }
 
 // Stats snapshots the link layer. Safe from any goroutine.
@@ -537,5 +744,9 @@ func (n *Node) Stats() LinkStats {
 	n.linkMu.Unlock()
 	s.FramesDropped = n.framesDropped.Load()
 	s.ConnsKilled = n.connsKilled.Load()
+	s.Repairs = n.repairsApplied.Load()
+	s.RepairChunks = n.repairChunksRx.Load()
+	s.RepairsSent = n.repairsSent.Load()
+	s.RepairFallback = n.repairFallback.Load()
 	return s
 }

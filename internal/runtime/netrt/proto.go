@@ -23,6 +23,20 @@ const (
 	kindResult   byte = 6 // answered region: credit + entries, to origin
 	kindDrop     byte = 7 // unanswerable region: credit back, to origin
 
+	// Failure detection and replication (node ↔ node). The Rep* stream
+	// frames carry fixed binary payloads (internal/wire's region
+	// transfer codecs), not gob: they are decoded synchronously on the
+	// reader so a hostile or truncated stream surfaces as a typed
+	// wire.FrameError and drops the link before anything is scheduled.
+	kindPing      byte = 8  // heartbeat probe
+	kindPong      byte = 9  // heartbeat answer
+	kindRepBegin  byte = 10 // replica stream header (gob repBeginMsg)
+	kindRepChunk  byte = 11 // one stream chunk (binary wire.RegionChunk)
+	kindRepAck    byte = 12 // chunk acknowledgement (binary wire.RegionAck)
+	kindRepDigest byte = 13 // anti-entropy digest (binary wire.RegionDigest)
+	kindPublish   byte = 14 // online mutation routed to its owner (gob pubMsg)
+	kindPubAck    byte = 15 // mutation outcome back to its origin (gob pubAckMsg)
+
 	// Client frames (client ↔ node, correlated by frame id).
 	kindClientHello   byte = 16
 	kindClientWelcome byte = 17
@@ -30,6 +44,9 @@ const (
 	kindClientResult  byte = 19
 	kindClientInfo    byte = 20
 	kindClientInfoR   byte = 21
+	kindClientPublish byte = 22
+	kindClientDelete  byte = 23
+	kindClientMutR    byte = 24
 )
 
 // Member is one ring member: its node ID (a position on the key ring)
@@ -110,6 +127,58 @@ type dropMsg struct {
 	Reason string
 }
 
+// pingMsg probes a member's liveness; pongMsg answers it. Seq pairs an
+// answer with its probe so a late pong cannot revive a member the
+// detector has since re-suspected.
+type pingMsg struct {
+	From uint64
+	Seq  uint64
+}
+
+type pongMsg struct {
+	From uint64
+	Seq  uint64
+}
+
+// repBeginMsg opens one replica stream: the owner's region follows as
+// Chunks sequenced RegionChunk frames whose reassembled payload decodes
+// to Entries entries combining to Digest. The receiver installs the
+// copy only when both match — a divergent or torn stream is discarded
+// and re-requested by the next anti-entropy exchange.
+type repBeginMsg struct {
+	Owner    uint64
+	Transfer uint64
+	Chunks   int
+	Entries  int
+	Digest   uint64
+}
+
+// pubMsg routes one online mutation (publish or delete) to the owner
+// of its ring key, exactly as queries route regions. Replica marks the
+// owner's fan-out copy to its replica set (applied to the local copy
+// of Owner's region, never re-routed, never acked). (Epoch, RID)
+// route the ack back to the origin's process incarnation.
+type pubMsg struct {
+	Origin     uint64
+	OriginAddr string
+	Epoch      uint64
+	RID        uint64
+	ID         int32
+	Obj        []byte
+	Key        uint64
+	Delete     bool
+	Replica    bool
+	Owner      uint64
+	TTL        int
+}
+
+// pubAckMsg reports one mutation's outcome to its origin.
+type pubAckMsg struct {
+	Epoch uint64
+	RID   uint64
+	Err   string
+}
+
 // clientWelcomeMsg answers a client handshake.
 type clientWelcomeMsg struct {
 	ID   uint64
@@ -132,6 +201,27 @@ type clientResultMsg struct {
 	Entries  []ResultEntry
 }
 
+// clientPublishMsg asks the node to publish one object under id (which
+// must not collide with the deterministic corpus); clientDeleteMsg
+// removes one entry — by id alone for corpus entries, or with the
+// object bytes for published ids (the bytes re-derive the ring key the
+// delete routes by). Both are answered with a clientMutRMsg.
+type clientPublishMsg struct {
+	ID  int32
+	Obj []byte
+}
+
+type clientDeleteMsg struct {
+	ID  int32
+	Obj []byte
+}
+
+// clientMutRMsg is a finished mutation: empty Err means the owner
+// applied and journaled it.
+type clientMutRMsg struct {
+	Err string
+}
+
 // infoMsg answers a client info request: the node's identity, view of
 // the ring, how much of the corpus it currently owns, and whether its
 // corpus was recovered from durable state. (Gob tolerates unknown
@@ -144,6 +234,20 @@ type infoMsg struct {
 	Store     int
 	Recovered bool
 	Replayed  int
+
+	// Replication and failure-detection state (PR 10): the configured
+	// replication factor, members this node's detector currently marks
+	// down, how many owners' regions this node holds synced copies of,
+	// live published entries, and the repair counters (bulk streams
+	// applied, chunks received, point-wise fallbacks — always zero, the
+	// soak asserts repairs ride the bulk path).
+	Replicas       int
+	Down           []uint64
+	SyncedOwners   int
+	Extras         int
+	Repairs        int64
+	RepairChunks   int64
+	RepairFallback int64
 }
 
 // encodeMsg builds a frame payload: kind byte + gob body.
@@ -156,6 +260,14 @@ func encodeMsg(kind byte, v any) ([]byte, error) {
 		}
 	}
 	return buf.Bytes(), nil
+}
+
+// encodeRaw builds a frame payload whose body is already binary (the
+// wire region-transfer codecs): kind byte + body, no gob.
+func encodeRaw(kind byte, body []byte) []byte {
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, kind)
+	return append(out, body...)
 }
 
 // splitMsg separates a frame payload into kind and body.

@@ -1,0 +1,290 @@
+package netrt
+
+// Online mutations: Publish inserts an object under a caller-chosen id
+// (disjoint from the boot corpus), Delete removes an entry. Mutations
+// route to the owner of the object's ring key exactly as queries route
+// regions; the owner applies the change to its live region, appends one
+// record to its WAL when durable (an incremental append — the corpus
+// snapshot is never recompacted online), fans the change out to its
+// replicas, and acks the origin. A restarted durable node replays its
+// mutation records on top of the recovered corpus before serving.
+//
+// Mutations to a down owner fail fast instead of queueing: while an
+// owner is dead its replica copies must stay static, which is exactly
+// what makes failover reads exact.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"landmarkdht/internal/core"
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/runtime"
+)
+
+// pendingPub is one in-flight mutation originated at this node.
+type pendingPub struct {
+	done  func(error)
+	timer runtime.Timer
+}
+
+// Publish inserts one object under id, routed to the owner of its ring
+// key. The id must not collide with the boot corpus. Safe from any
+// goroutine.
+func (n *Node) Publish(id int32, obj []byte, timeout time.Duration) error {
+	return n.mutate(id, obj, false, timeout)
+}
+
+// Delete removes one entry: a boot-corpus entry by id alone, or a
+// published entry by id plus its encoded object (the bytes re-derive
+// the ring key the delete routes by). Safe from any goroutine.
+func (n *Node) Delete(id int32, obj []byte, timeout time.Duration) error {
+	return n.mutate(id, obj, true, timeout)
+}
+
+func (n *Node) mutate(id int32, obj []byte, del bool, timeout time.Duration) error {
+	var merr error
+	err := n.rt.Await(timeout, func(finish func()) error {
+		n.startMutation(id, obj, del, func(err error) {
+			merr = err
+			finish()
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return merr
+}
+
+// startMutation begins one mutation at this node (executor only). done
+// fires exactly once, on the executor.
+//
+//lint:context executor
+func (n *Node) startMutation(id int32, obj []byte, del bool, done func(error)) {
+	var key lph.Key
+	switch {
+	case len(obj) > 0:
+		k, _, err := n.data.MapObj(obj)
+		if err != nil {
+			done(err)
+			return
+		}
+		key = k
+	case del && int(id) >= 0 && int(id) < n.data.N():
+		key = n.data.Key(int(id))
+	default:
+		done(fmt.Errorf("netrt: mutation of id %d needs the encoded object", id))
+		return
+	}
+	n.nextRID++
+	rid := n.nextRID
+	pp := &pendingPub{done: done}
+	n.pubs[rid] = pp
+	pp.timer = n.rt.AfterFunc(n.cfg.Deadline, func() {
+		if n.pubs[rid] == pp {
+			delete(n.pubs, rid)
+			done(fmt.Errorf("netrt: mutation timed out after %v", n.cfg.Deadline))
+		}
+	})
+	n.routeMutation(&pubMsg{
+		Origin: n.id, OriginAddr: n.addr, Epoch: n.epoch, RID: rid,
+		ID: id, Obj: obj, Key: uint64(key), Delete: del, TTL: n.cfg.TTL,
+	})
+}
+
+// routeMutation forwards a mutation toward the owner of its ring key,
+// applying it on arrival.
+//
+//lint:context executor
+func (n *Node) routeMutation(m *pubMsg) {
+	if m.TTL <= 0 {
+		n.mutAck(m, "ttl exhausted")
+		return
+	}
+	owner := n.successor(m.Key)
+	if owner == n.id {
+		if err := n.applyMutation(m); err != nil {
+			n.mutAck(m, err.Error())
+			return
+		}
+		n.journalMutation(m)
+		n.fanoutMutation(m)
+		n.mutAck(m, "")
+		return
+	}
+	if n.isDown(owner) {
+		n.mutAck(m, fmt.Sprintf("owner %016x down", owner))
+		return
+	}
+	fm := *m
+	fm.TTL--
+	n.sendTo(n.members[owner], kindPublish, &fm)
+}
+
+// applyMutation applies one mutation to the live region, keeping the
+// region digest incrementally correct.
+//
+//lint:context executor
+func (n *Node) applyMutation(m *pubMsg) error {
+	if m.Delete {
+		if e, ok := n.extras[m.ID]; ok {
+			delete(n.extras, m.ID)
+			n.mineDigest ^= e.dig
+			n.mineCount--
+			return nil
+		}
+		i := int(m.ID)
+		if i < 0 || i >= n.data.N() {
+			return fmt.Errorf("netrt: delete of unknown id %d", m.ID)
+		}
+		if _, dead := n.tombs[m.ID]; dead {
+			return nil // idempotent
+		}
+		n.tombs[m.ID] = struct{}{}
+		if n.ownsBoot(i) {
+			n.mineDigest ^= n.entryDig[i]
+			n.mineCount--
+		}
+		return nil
+	}
+	if i := int(m.ID); i >= 0 && i < n.data.N() {
+		return fmt.Errorf("netrt: publish id %d collides with the boot corpus", m.ID)
+	}
+	_, point, err := n.data.MapObj(m.Obj)
+	if err != nil {
+		return err
+	}
+	e := repEntry{key: lph.Key(m.Key), point: point, obj: m.Obj}
+	e.dig = core.EntryDigest(e.key, core.Entry{Obj: core.ObjectID(m.ID), Point: point}, m.Obj)
+	if old, ok := n.extras[m.ID]; ok {
+		n.mineDigest ^= old.dig
+		n.mineCount--
+	}
+	n.extras[m.ID] = e
+	n.mineDigest ^= e.dig
+	n.mineCount++
+	return nil
+}
+
+// ownsBoot reports whether boot entry i is currently owned here (owned
+// is ascending corpus indices).
+//
+//lint:context executor
+func (n *Node) ownsBoot(i int) bool {
+	j := sort.SearchInts(n.owned, i)
+	return j < len(n.owned) && n.owned[j] == i
+}
+
+// fanoutMutation forwards an applied mutation to this owner's replicas
+// as Replica-marked copies (applied to their copy of this region, never
+// re-routed, never acked). A replica that misses the fan-out — down,
+// shed frame — diverges and is repaired by the next digest exchange.
+//
+//lint:context executor
+func (n *Node) fanoutMutation(m *pubMsg) {
+	for _, t := range n.replicaTargets(n.id) {
+		if t == n.id || n.isDown(t) {
+			continue
+		}
+		fm := *m
+		fm.Replica = true
+		fm.Owner = n.id
+		n.sendTo(n.members[t], kindPublish, &fm)
+	}
+}
+
+// onPublish handles an inbound mutation frame: replica fan-out applies
+// to the local copy, anything else keeps routing.
+//
+//lint:context executor
+func (n *Node) onPublish(m *pubMsg) {
+	if m.Replica {
+		n.applyToCopy(m)
+		return
+	}
+	n.routeMutation(m)
+}
+
+// applyToCopy applies one fanned-out mutation to the copy of its
+// owner's region. Without a synced baseline the fan-out is skipped —
+// the anti-entropy stream will deliver the whole region instead.
+//
+//lint:context executor
+func (n *Node) applyToCopy(m *pubMsg) {
+	c := n.copies[m.Owner]
+	if c == nil || !c.synced {
+		return
+	}
+	if m.Delete {
+		if e, ok := c.entries[m.ID]; ok {
+			delete(c.entries, m.ID)
+			c.digest ^= e.dig
+		}
+		return
+	}
+	_, point, err := n.data.MapObj(m.Obj)
+	if err != nil {
+		return
+	}
+	e := repEntry{key: lph.Key(m.Key), point: point, obj: m.Obj}
+	e.dig = core.EntryDigest(e.key, core.Entry{Obj: core.ObjectID(m.ID), Point: point}, m.Obj)
+	if old, ok := c.entries[m.ID]; ok {
+		c.digest ^= old.dig
+	}
+	c.entries[m.ID] = e
+	c.digest ^= e.dig
+}
+
+// mutAck reports a mutation's outcome to its origin.
+//
+//lint:context executor
+func (n *Node) mutAck(m *pubMsg, errstr string) {
+	if m.Origin == n.id {
+		n.onPubAck(&pubAckMsg{Epoch: m.Epoch, RID: m.RID, Err: errstr})
+		return
+	}
+	n.sendTo(m.OriginAddr, kindPubAck, pubAckMsg{Epoch: m.Epoch, RID: m.RID, Err: errstr})
+}
+
+// onPubAck completes one pending mutation. Epoch routing keeps acks
+// addressed to a previous incarnation away from this one's rids.
+//
+//lint:context executor
+func (n *Node) onPubAck(a *pubAckMsg) {
+	if a.Epoch != n.epoch {
+		return
+	}
+	pp := n.pubs[a.RID]
+	if pp == nil {
+		return
+	}
+	delete(n.pubs, a.RID)
+	pp.timer.Stop()
+	if a.Err != "" {
+		pp.done(fmt.Errorf("netrt: mutation failed: %s", a.Err))
+		return
+	}
+	pp.done(nil)
+}
+
+// applyRecovered replays one journaled mutation during startup (before
+// the first view build — rebuildView folds the result into the region
+// digest). Records replay in log order, so publish/delete interleavings
+// resolve exactly as they were applied.
+//
+//lint:context executor
+func (n *Node) applyRecovered(m durableMut) {
+	if m.del {
+		if int(m.id) >= 0 && int(m.id) < n.data.N() {
+			n.tombs[m.id] = struct{}{}
+		} else {
+			delete(n.extras, m.id)
+		}
+		return
+	}
+	e := repEntry{key: m.key, point: m.point, obj: m.obj}
+	e.dig = core.EntryDigest(m.key, core.Entry{Obj: core.ObjectID(m.id), Point: m.point}, m.obj)
+	n.extras[m.id] = e
+}

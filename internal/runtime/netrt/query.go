@@ -100,18 +100,56 @@ func (n *Node) process(q *queryMsg) {
 	}
 	lo, _ := lph.CuboidSpan(q.Region.PreKey, q.Region.PreLen)
 	owner := n.successor(uint64(n.data.Part().Ring(lo)))
-	if owner != n.id {
+	if owner == n.id {
+		n.decompose(q, n.id, n.answerLocal)
+		return
+	}
+	if !n.isDown(owner) {
 		fq := *q
 		fq.TTL--
 		n.sendTo(n.members[owner], kindQuery, &fq)
 		return
 	}
-	// This node is the surrogate: keys of the region's cuboid at or
-	// below vid are owned here; every maximal sub-cuboid above vid (one
-	// per zero bit of vid past the prefix) is clipped to the query cube
-	// and forwarded to its own owner.
+	// The owner is down. A synced copy of its region answers the shard
+	// right here — decomposed at the owner's ring position, so the
+	// sub-shards route exactly as they would have from the owner.
+	// Members are never evicted, so the ring only grows and a dead
+	// owner's region can only have shrunk since the copy synced: the
+	// copy covers the routed shard, over-coverage is merged away per
+	// object at the origin, and mutations to a down owner are refused
+	// (publish.go), so the copy is static while the owner is dead —
+	// the failover answer is exact.
+	if c := n.copies[owner]; c != nil && c.synced {
+		n.decompose(q, owner, func(lq *queryMsg) { n.answerFromCopy(lq, c) })
+		return
+	}
+	// No copy here: hand the shard to a live replica that may hold one.
+	// TTL bounds any ping-pong between unsynced replicas.
+	for _, t := range n.replicaTargets(owner) {
+		if t != n.id && !n.isDown(t) {
+			fq := *q
+			fq.TTL--
+			n.sendTo(n.members[t], kindQuery, &fq)
+			return
+		}
+	}
+	n.returnDrop(q, q.Credit, "owner down, no live replica")
+}
+
+// decompose runs the surrogate-refinement decomposition (Algorithm 5)
+// of q at surrogate's ring position: keys of the region's cuboid at or
+// below the surrogate's virtual id belong to the surrogate, and every
+// maximal sub-cuboid above it (one per zero bit past the prefix) is
+// clipped to the query cube and routed to its own owner. answer
+// receives the local share. Normally surrogate is this node; when a
+// down owner's shard is answered from a replica copy, the copy's
+// holder decomposes at the owner's position so the routing is
+// unchanged.
+//
+//lint:context executor
+func (n *Node) decompose(q *queryMsg, surrogate uint64, answer func(*queryMsg)) {
 	part := n.data.Part()
-	vid := part.Unring(lph.Key(n.id))
+	vid := part.Unring(lph.Key(surrogate))
 	var subs []query.Region
 	if lph.SamePrefix(q.Region.PreKey, vid, q.Region.PreLen) {
 		for z := lph.FirstZeroBitAfter(vid, q.Region.PreLen); z != 0; z = lph.FirstZeroBitAfter(vid, z) {
@@ -135,7 +173,7 @@ func (n *Node) process(q *queryMsg) {
 	}
 	lq := *q
 	lq.Credit = shares[0]
-	n.answerLocal(&lq)
+	answer(&lq)
 }
 
 // splitCredit divides credit into parts shares that sum exactly to
@@ -166,6 +204,9 @@ func (n *Node) answerLocal(q *queryMsg) {
 	}
 	var ents []ResultEntry
 	for _, i := range n.owned {
+		if _, dead := n.tombs[int32(i)]; dead {
+			continue
+		}
 		if !q.Region.Contains(n.data.Point(i)) {
 			continue
 		}
@@ -173,6 +214,55 @@ func (n *Node) answerLocal(q *queryMsg) {
 			ents = append(ents, ResultEntry{Obj: int32(i), Dist: d})
 		}
 	}
+	if len(n.extras) > 0 {
+		dist, derr := n.data.Dister(q.QObj)
+		if derr != nil {
+			n.returnDrop(q, q.Credit, "bad query object")
+			return
+		}
+		for id, e := range n.extras { //lint:allow maporder origin merges per object; entry order in a result frame is irrelevant
+			if !q.Region.Contains(e.point) {
+				continue
+			}
+			if d, err := dist(e.obj); err == nil && d <= q.R {
+				ents = append(ents, ResultEntry{Obj: id, Dist: d})
+			}
+		}
+	}
+	n.sendResult(q, ents)
+}
+
+// answerFromCopy resolves one region of a down owner against this
+// node's synced copy: the same cube scan and exact-distance refinement
+// as answerLocal, over the copy's self-describing entries.
+//
+//lint:context executor
+func (n *Node) answerFromCopy(q *queryMsg, c *replicaCopy) {
+	dist, err := n.data.Dister(q.QObj)
+	if err != nil {
+		n.returnDrop(q, q.Credit, "bad query object")
+		return
+	}
+	var ents []ResultEntry
+	for id, e := range c.entries { //lint:allow maporder origin merges per object; entry order in a result frame is irrelevant
+		if !q.Region.Contains(e.point) {
+			continue
+		}
+		d, err := dist(e.obj)
+		if err != nil {
+			n.returnDrop(q, q.Credit, "undecodable replica entry")
+			return
+		}
+		if d <= q.R {
+			ents = append(ents, ResultEntry{Obj: id, Dist: d})
+		}
+	}
+	n.sendResult(q, ents)
+}
+
+// sendResult returns one answered shard's entries and credit share to
+// the origin.
+func (n *Node) sendResult(q *queryMsg, ents []ResultEntry) {
 	if q.Origin == n.id {
 		n.onReturn(q.Epoch, q.QID, q.Credit, ents, false)
 		return

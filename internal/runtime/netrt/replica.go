@@ -1,0 +1,467 @@
+package netrt
+
+// Region replication and anti-entropy repair. With Config.Replicas = K
+// every member streams a full copy of its live region — owned boot
+// entries minus tombstones, plus published extras — to its K ring
+// successors over the bulk region-transfer frames (internal/wire:
+// sequenced chunks, per-chunk acks, a windowed sender). Entries travel
+// self-describing (ring key, index-space point, encoded object), so a
+// replica answers a down owner's subqueries with exact distances
+// without assuming anything about the owner's corpus slice.
+//
+// Synchronization is digest-driven: every AntiEntropyPeriod an owner
+// advertises (count, XOR-of-entry-digests) to each replica; a replica
+// whose copy disagrees answers with its own digest, and the owner
+// responds by re-streaming the region. The same exchange confirms
+// agreement — a matching advert marks the copy synced, and only synced
+// copies serve queries. A torn or divergent stream is discarded after
+// the end-to-end digest check and repaired by the next exchange; there
+// is no point-wise fallback path, so every repair is a counted bulk
+// stream (LinkStats.Repairs / RepairChunks; RepairFallback stays 0).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"landmarkdht/internal/core"
+	"landmarkdht/internal/lph"
+	"landmarkdht/internal/runtime"
+	"landmarkdht/internal/wire"
+)
+
+const (
+	// repIndexName names the index scheme in every replica chunk; a
+	// chunk for any other scheme is ignored.
+	repIndexName = "netrt-region"
+	// repChunkData bounds one chunk's entry bytes (well under
+	// wire.MaxChunkData so the whole frame stays small).
+	repChunkData = 8 << 10
+	// repWindow is the sender's in-flight chunk window.
+	repWindow = 4
+	// repRetryDelay is the sender's retransmit timer; progress (any new
+	// ack) resets the retry budget.
+	repRetryDelay = 300 * time.Millisecond
+	// repMaxRetries bounds a stream with no progress before the sender
+	// gives up (the next anti-entropy exchange starts over).
+	repMaxRetries = 30
+	// maxRepChunks and maxRepBytes bound what a receiver will stage for
+	// one stream, whatever the header claims.
+	maxRepChunks = 1 << 14
+	maxRepBytes  = 64 << 20
+)
+
+// repEntry is one self-describing replica entry: ring key, index-space
+// point, encoded object, and its precomputed digest.
+type repEntry struct {
+	key   lph.Key
+	point []float64
+	obj   []byte
+	dig   uint64
+}
+
+// replicaCopy is this node's copy of one owner's live region. Only a
+// synced copy — digest-confirmed against the owner's advert, or
+// freshly installed from a digest-checked stream — serves queries.
+type replicaCopy struct {
+	entries map[int32]repEntry
+	digest  uint64
+	synced  bool
+}
+
+// repPush is one outbound replica stream.
+type repPush struct {
+	to       uint64
+	addr     string
+	transfer uint64
+	chunks   [][]byte // pre-encoded kind-prefixed chunk frames
+	acked    []bool
+	ackedN   int
+	sent     int
+	retries  int
+	timer    runtime.Timer
+	digest   uint64 // region digest the stream was cut at
+	entries  int
+}
+
+// repStage is one inbound replica stream being reassembled.
+type repStage struct {
+	owner    uint64
+	transfer uint64
+	digest   uint64
+	entries  int
+	data     [][]byte
+	got      []bool
+	have     int
+	bytes    int
+}
+
+// replicaTargets returns the min(Replicas, ring−1) distinct members
+// after owner in ring order — owner's replica set under the current
+// view. Nil when replication is off or owner is not in the view.
+//
+//lint:context executor
+func (n *Node) replicaTargets(owner uint64) []uint64 {
+	k := n.cfg.Replicas
+	if k <= 0 || len(n.ring) < 2 {
+		return nil
+	}
+	if k > len(n.ring)-1 {
+		k = len(n.ring) - 1
+	}
+	i := sort.Search(len(n.ring), func(i int) bool { return n.ring[i] >= owner })
+	if i == len(n.ring) || n.ring[i] != owner {
+		return nil
+	}
+	out := make([]uint64, 0, k)
+	for j := 1; j <= k; j++ {
+		out = append(out, n.ring[(i+j)%len(n.ring)])
+	}
+	return out
+}
+
+// antiEntropyTick advertises this node's live-region digest to each of
+// its replicas. A replica that disagrees (or holds nothing) answers
+// with its own digest, which schedules the repair stream.
+//
+//lint:context executor
+func (n *Node) antiEntropyTick() {
+	targets := n.replicaTargets(n.id)
+	if len(targets) == 0 {
+		return
+	}
+	adv := encodeRaw(kindRepDigest, wire.AppendDigest(nil, wire.RegionDigest{
+		Owner: n.id, Entries: uint32(n.mineCount), Digest: n.mineDigest,
+	}))
+	for _, t := range targets {
+		if t == n.id || n.isDown(t) {
+			continue
+		}
+		n.sendRaw(n.members[t], adv)
+	}
+}
+
+// onRepDigest handles both directions of the exchange. A digest whose
+// Owner is this node is a replica reporting its copy of our region:
+// divergence starts (or restarts) a push to that replica. Any other
+// Owner is an owner's advert: a matching copy is marked synced, a
+// divergent or missing one is reported back so the owner re-streams.
+//
+//lint:context executor
+func (n *Node) onRepDigest(peer uint64, d wire.RegionDigest) {
+	if d.Owner == n.id {
+		if int(d.Entries) != n.mineCount || d.Digest != n.mineDigest {
+			n.startPush(peer)
+		}
+		return
+	}
+	if d.Owner != peer {
+		return // adverts speak only for their sender
+	}
+	c := n.copies[d.Owner]
+	if c == nil && d.Entries == 0 && d.Digest == 0 {
+		// An empty region (a ring arc with no corpus keys) syncs without
+		// a stream: reporting back would echo the owner's own (0, 0)
+		// digest, which the owner correctly sees as agreement and never
+		// pushes — so the copy must be installed right here or the
+		// exchange deadlocks with this replica unsynced forever.
+		n.copies[d.Owner] = &replicaCopy{entries: make(map[int32]repEntry), synced: true}
+		return
+	}
+	have := wire.RegionDigest{Owner: d.Owner}
+	if c != nil {
+		have.Entries = uint32(len(c.entries))
+		have.Digest = c.digest
+	}
+	synced := c != nil && have.Entries == d.Entries && have.Digest == d.Digest
+	if c != nil {
+		c.synced = synced
+	}
+	if !synced {
+		n.sendRaw(n.members[d.Owner], encodeRaw(kindRepDigest, wire.AppendDigest(nil, have)))
+	}
+}
+
+// startPush cuts the live region at its current digest and streams it
+// to one replica. An identical stream already in flight is left alone;
+// a stale one is replaced.
+//
+//lint:context executor
+func (n *Node) startPush(to uint64) {
+	addr := n.members[to]
+	if addr == "" || to == n.id || n.isDown(to) {
+		return
+	}
+	if p := n.pushes[to]; p != nil {
+		if p.digest == n.mineDigest && p.entries == n.mineCount {
+			return
+		}
+		n.dropPush(p)
+	}
+	raw := chunkRepData(n.encodeMine())
+	n.nextXfer++
+	p := &repPush{to: to, addr: addr, transfer: n.nextXfer,
+		digest: n.mineDigest, entries: n.mineCount,
+		chunks: make([][]byte, len(raw)), acked: make([]bool, len(raw))}
+	for i, d := range raw {
+		c := wire.RegionChunk{Transfer: p.transfer, Index: repIndexName,
+			Seq: uint32(i), Last: i == len(raw)-1, Data: d}
+		enc, err := wire.AppendChunk(nil, &c)
+		if err != nil {
+			return // unreachable: name and chunk sizes are in range by construction
+		}
+		p.chunks[i] = encodeRaw(kindRepChunk, enc)
+	}
+	n.pushes[to] = p
+	n.pushByXfer[p.transfer] = p
+	n.sendTo(addr, kindRepBegin, repBeginMsg{Owner: n.id, Transfer: p.transfer,
+		Chunks: len(p.chunks), Entries: p.entries, Digest: p.digest})
+	n.pumpPush(p)
+	p.timer = n.rt.AfterFunc(repRetryDelay, func() { n.retryPush(p) })
+	n.logf("replica push to %016x: %d entries in %d chunks (transfer %d)",
+		to, p.entries, len(p.chunks), p.transfer)
+}
+
+// encodeMine serializes the live region: owned boot entries minus
+// tombstones, then the published extras.
+//
+//lint:context executor
+func (n *Node) encodeMine() []byte {
+	var out []byte
+	for _, i := range n.owned {
+		if _, dead := n.tombs[int32(i)]; dead {
+			continue
+		}
+		out = appendRepEntry(out, n.data.Key(i),
+			core.Entry{Obj: core.ObjectID(i), Point: n.data.Point(i)}, n.data.ObjBytes(i))
+	}
+	for id, e := range n.extras {
+		out = appendRepEntry(out, e.key, core.Entry{Obj: core.ObjectID(id), Point: e.point}, e.obj)
+	}
+	return out
+}
+
+// Replica stream entries extend the core region codec with the encoded
+// object ([4B obj len | obj]) — copies answer exact distances, so they
+// carry the object itself, not just its index-space point.
+
+func appendRepEntry(dst []byte, key lph.Key, e core.Entry, obj []byte) []byte {
+	dst = core.AppendEntry(dst, key, e)
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], uint32(len(obj)))
+	dst = append(dst, u[:]...)
+	return append(dst, obj...)
+}
+
+func decodeRepEntry(data []byte) (key lph.Key, e core.Entry, obj, rest []byte, err error) {
+	key, e, rest, err = core.DecodeEntry(data)
+	if err != nil {
+		return 0, core.Entry{}, nil, nil, err
+	}
+	if len(rest) < 4 {
+		return 0, core.Entry{}, nil, nil, fmt.Errorf("netrt: replica entry object length truncated")
+	}
+	olen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if olen > len(rest) {
+		return 0, core.Entry{}, nil, nil, fmt.Errorf("netrt: replica entry declares %d object bytes, %d remain", olen, len(rest))
+	}
+	return key, e, rest[:olen:olen], rest[olen:], nil
+}
+
+// chunkRepData splits a region blob at fixed boundaries. An empty
+// region still ships one empty chunk, so the receiver sees a complete
+// (and digest-checked) stream.
+func chunkRepData(data []byte) [][]byte {
+	if len(data) == 0 {
+		return [][]byte{nil}
+	}
+	var out [][]byte
+	for off := 0; off < len(data); off += repChunkData {
+		end := off + repChunkData
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, data[off:end])
+	}
+	return out
+}
+
+// pumpPush keeps the window full.
+//
+//lint:context executor
+func (n *Node) pumpPush(p *repPush) {
+	for p.sent < len(p.chunks) && p.sent-p.ackedN < repWindow {
+		n.sendRaw(p.addr, p.chunks[p.sent])
+		p.sent++
+	}
+}
+
+// retryPush re-announces the stream and retransmits everything sent
+// but unacked. The receiver acks duplicates idempotently, so a lost
+// ack costs one redundant chunk, never a stuck stream.
+//
+//lint:context executor
+func (n *Node) retryPush(p *repPush) {
+	if n.pushByXfer[p.transfer] != p {
+		return // finished or replaced
+	}
+	if n.isDown(p.to) {
+		n.dropPush(p)
+		return
+	}
+	p.retries++
+	if p.retries > repMaxRetries {
+		n.dropPush(p)
+		n.logf("replica push to %016x abandoned after %d retries (transfer %d)", p.to, p.retries-1, p.transfer)
+		return
+	}
+	n.sendTo(p.addr, kindRepBegin, repBeginMsg{Owner: n.id, Transfer: p.transfer,
+		Chunks: len(p.chunks), Entries: p.entries, Digest: p.digest})
+	for i := 0; i < p.sent; i++ {
+		if !p.acked[i] {
+			n.sendRaw(p.addr, p.chunks[i])
+		}
+	}
+	n.pumpPush(p)
+	p.timer = n.rt.AfterFunc(repRetryDelay, func() { n.retryPush(p) })
+}
+
+// onRepAck books one acked chunk and advances the window.
+//
+//lint:context executor
+func (n *Node) onRepAck(a wire.RegionAck) {
+	p := n.pushByXfer[a.Transfer]
+	if p == nil || int(a.Seq) >= len(p.chunks) || p.acked[a.Seq] {
+		return
+	}
+	p.acked[a.Seq] = true
+	p.ackedN++
+	p.retries = 0 // progress restores the retry budget
+	if p.ackedN == len(p.chunks) {
+		n.repairsSent.Add(1)
+		n.dropPush(p)
+		n.logf("replica push to %016x complete (transfer %d)", p.to, p.transfer)
+		return
+	}
+	n.pumpPush(p)
+}
+
+// dropPush removes a stream from both indices and stops its timer.
+//
+//lint:context executor
+func (n *Node) dropPush(p *repPush) {
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	if n.pushByXfer[p.transfer] == p {
+		delete(n.pushByXfer, p.transfer)
+	}
+	if n.pushes[p.to] == p {
+		delete(n.pushes, p.to)
+	}
+}
+
+// onRepBegin opens (or re-opens, idempotently) one inbound stream. A
+// newer stream from the same owner replaces a stale one.
+//
+//lint:context executor
+func (n *Node) onRepBegin(peer uint64, b *repBeginMsg) {
+	if b.Owner != peer || b.Chunks <= 0 || b.Chunks > maxRepChunks || b.Entries < 0 {
+		return
+	}
+	if old, ok := n.stageOwner[b.Owner]; ok {
+		if st := n.staging[old]; st != nil && st.transfer == b.Transfer {
+			return // retry of the stream already in progress
+		}
+		delete(n.staging, old)
+	}
+	st := &repStage{owner: b.Owner, transfer: b.Transfer, digest: b.Digest, entries: b.Entries,
+		data: make([][]byte, b.Chunks), got: make([]bool, b.Chunks)}
+	n.staging[b.Transfer] = st
+	n.stageOwner[b.Owner] = b.Transfer
+}
+
+// onRepChunk stages one chunk and acks it. Duplicates are acked
+// without re-staging; the last missing chunk triggers install.
+//
+//lint:context executor
+func (n *Node) onRepChunk(peer uint64, c wire.RegionChunk) {
+	st := n.staging[c.Transfer]
+	if st == nil || st.owner != peer || c.Index != repIndexName || int(c.Seq) >= len(st.got) {
+		return
+	}
+	if !st.got[c.Seq] {
+		if st.bytes+len(c.Data) > maxRepBytes {
+			delete(n.staging, c.Transfer)
+			delete(n.stageOwner, st.owner)
+			return
+		}
+		st.data[c.Seq] = c.Data
+		st.got[c.Seq] = true
+		st.have++
+		st.bytes += len(c.Data)
+	}
+	n.sendRaw(n.members[st.owner], encodeRaw(kindRepAck,
+		wire.AppendAck(nil, wire.RegionAck{Transfer: c.Transfer, Seq: c.Seq})))
+	if st.have == len(st.got) {
+		n.installStage(st)
+	}
+}
+
+// installStage decodes a complete stream, verifies its end-to-end
+// digest, and installs the copy. A mismatch — torn stream, concurrent
+// mutation at the owner, undecodable entry — discards the stage; the
+// next anti-entropy exchange repairs it.
+//
+//lint:context executor
+func (n *Node) installStage(st *repStage) {
+	delete(n.staging, st.transfer)
+	if n.stageOwner[st.owner] == st.transfer {
+		delete(n.stageOwner, st.owner)
+	}
+	var blob []byte
+	for _, d := range st.data {
+		blob = append(blob, d...)
+	}
+	entries := make(map[int32]repEntry, st.entries)
+	var dig uint64
+	for len(blob) > 0 {
+		key, e, obj, rest, err := decodeRepEntry(blob)
+		if err != nil {
+			n.logf("replica stream from %016x: %v", st.owner, err)
+			return
+		}
+		blob = rest
+		d := core.EntryDigest(key, e, obj)
+		if old, ok := entries[int32(e.Obj)]; ok {
+			dig ^= old.dig
+		}
+		entries[int32(e.Obj)] = repEntry{key: key, point: e.Point, obj: obj, dig: d}
+		dig ^= d
+	}
+	if len(entries) != st.entries || dig != st.digest {
+		n.logf("replica stream from %016x discarded: %d entries / %016x, header said %d / %016x",
+			st.owner, len(entries), dig, st.entries, st.digest)
+		return
+	}
+	n.copies[st.owner] = &replicaCopy{entries: entries, digest: dig, synced: true}
+	n.repairsApplied.Add(1)
+	n.repairChunksRx.Add(int64(len(st.got)))
+	n.logf("installed replica copy of %016x: %d entries from %d chunks", st.owner, len(entries), len(st.got))
+}
+
+// syncedOwners counts the owners whose regions this node holds synced
+// copies of.
+//
+//lint:context executor
+func (n *Node) syncedOwners() int {
+	cnt := 0
+	for _, c := range n.copies {
+		if c.synced {
+			cnt++
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,271 @@
+package netrt
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"landmarkdht/internal/wire"
+)
+
+// replicatedConfig is testConfig tuned for fast failure detection and
+// anti-entropy, with replication on. SuspectAfter stays generous
+// relative to the period: a loaded test machine can delay a pong past
+// one 100ms round easily, and a spuriously-down target pauses its
+// repair streams — exactly the starvation this config must avoid.
+func replicatedConfig(data DataConfig, replicas int, join ...string) Config {
+	cfg := testConfig(data, join...)
+	cfg.Replicas = replicas
+	cfg.HeartbeatPeriod = 100 * time.Millisecond
+	cfg.SuspectAfter = 6
+	cfg.AntiEntropyPeriod = 150 * time.Millisecond
+	return cfg
+}
+
+func startReplicatedRing(t *testing.T, size, replicas int, data DataConfig) []*Node {
+	t.Helper()
+	nodes := make([]*Node, size)
+	first, err := Start(replicatedConfig(data, replicas))
+	if err != nil {
+		t.Fatalf("start first node: %v", err)
+	}
+	nodes[0] = first
+	for i := 1; i < size; i++ {
+		n, err := Start(replicatedConfig(data, replicas, first.Addr()))
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	waitConverged(t, nodes, size)
+	return nodes
+}
+
+// execRead runs fn on the node's executor and waits for it — the test's
+// window into executor-owned state.
+func execRead(t *testing.T, n *Node, fn func()) {
+	t.Helper()
+	if err := n.rt.Do(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitSynced waits until every node holds a synced copy of each of the
+// owners it replicates for.
+func waitSynced(t *testing.T, nodes []*Node, wantOwners int) {
+	t.Helper()
+	waitFor(t, 20*time.Second, func() bool {
+		for _, n := range nodes {
+			if n == nil {
+				continue
+			}
+			synced := 0
+			execRead(t, n, func() { synced = n.syncedOwners() })
+			if synced < wantOwners {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestReplicaFailoverExactQueries is the tentpole contract: with
+// Replicas=1, a member dying permanently must not cost completeness or
+// exactness — once the survivors' detectors mark it down, every query
+// is Complete and matches brute force, answered from bulk-streamed
+// replica copies (Repairs > 0, RepairFallback == 0).
+func TestReplicaFailoverExactQueries(t *testing.T) {
+	data := testData()
+	nodes := startReplicatedRing(t, 3, 1, data)
+	waitSynced(t, nodes, 1)
+
+	victim := nodes[2]
+	victimID := victim.ID()
+	victim.Close()
+	nodes[2] = nil
+	survivors := []*Node{nodes[0], nodes[1]}
+
+	// Wait for every survivor's detector to mark the victim down —
+	// rerouting needs the verdict at whichever node holds the shard.
+	waitFor(t, 15*time.Second, func() bool {
+		for _, n := range survivors {
+			down := false
+			execRead(t, n, func() { down = n.isDown(victimID) })
+			if !down {
+				return false
+			}
+		}
+		return true
+	})
+
+	ds, err := BuildDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 12; i++ {
+		qobj := ds.RandomQuery(rng)
+		r := 0.2 + 0.3*rng.Float64()
+		out, err := survivors[i%2].Query(qobj, r, 5*time.Second)
+		if err != nil {
+			t.Fatalf("query %d with dead member: %v", i, err)
+		}
+		if !out.Complete {
+			t.Fatalf("query %d incomplete with a dead member despite replicas (dropped %d)", i, out.Dropped)
+		}
+		want, err := ds.BruteForce(qobj, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(out.Entries, want) {
+			t.Fatalf("query %d: failover answer has %d entries, brute force %d", i, len(out.Entries), len(want))
+		}
+	}
+
+	var repairs, fallback int64
+	for _, n := range survivors {
+		s := n.Stats()
+		repairs += s.Repairs
+		fallback += s.RepairFallback
+	}
+	if repairs == 0 {
+		t.Fatal("no bulk repair stream was installed on any survivor")
+	}
+	if fallback != 0 {
+		t.Fatalf("repairs took the point-wise fallback path %d times", fallback)
+	}
+}
+
+// TestAntiEntropyRepairsDivergence tampers with a synced replica copy
+// and requires the digest exchange to notice and re-stream the region.
+func TestAntiEntropyRepairsDivergence(t *testing.T) {
+	data := testData()
+	nodes := startReplicatedRing(t, 2, 1, data)
+	waitSynced(t, nodes, 1)
+
+	a, b := nodes[0], nodes[1]
+	before := b.Stats().Repairs
+	var ownerEntries int
+	execRead(t, a, func() { ownerEntries = a.mineCount })
+
+	// Drop one entry from b's copy of a, keeping the copy's digest
+	// self-consistent — only the owner's advert can expose the loss.
+	execRead(t, b, func() {
+		c := b.copies[a.id]
+		if c == nil {
+			t.Error("no copy of the owner on the replica")
+			return
+		}
+		for id, e := range c.entries {
+			delete(c.entries, id)
+			c.digest ^= e.dig
+			break
+		}
+	})
+
+	waitFor(t, 20*time.Second, func() bool {
+		if b.Stats().Repairs <= before {
+			return false
+		}
+		restored := 0
+		execRead(t, b, func() {
+			if c := b.copies[a.id]; c != nil && c.synced {
+				restored = len(c.entries)
+			}
+		})
+		return restored == ownerEntries
+	})
+}
+
+// TestFailureDetectorRecovery pins the decay contract: a down verdict
+// reverses once the member answers probes again — never a permanent
+// blacklist.
+func TestFailureDetectorRecovery(t *testing.T) {
+	data := testData()
+	cfg := replicatedConfig(data, 0)
+	a, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Start(replicatedConfig(data, 0, a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, []*Node{a, b}, 2)
+
+	bID, bAddr := b.ID(), b.Addr()
+	b.Close()
+	waitFor(t, 15*time.Second, func() bool {
+		down := false
+		execRead(t, a, func() { down = a.isDown(bID) })
+		return down
+	})
+
+	// Restart on the same address: same identity, answered probes must
+	// clear the verdict.
+	cfg2 := replicatedConfig(data, 0, a.Addr())
+	cfg2.Listen = bAddr
+	b2, err := Start(cfg2)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", bAddr, err)
+	}
+	defer b2.Close()
+	waitFor(t, 20*time.Second, func() bool {
+		down := true
+		execRead(t, a, func() { down = a.isDown(bID) })
+		return !down
+	})
+}
+
+// TestHostileRepFrameDropsLink feeds a handshaked peer connection a
+// truncated binary replication frame: the node must drop the link
+// (typed wire.FrameError surfaced by the synchronous decode) — never
+// panic, never keep reading the poisoned stream.
+func TestHostileRepFrameDropsLink(t *testing.T) {
+	n, err := Start(testConfig(testData()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	conn, err := net.DialTimeout("tcp", n.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := dialHandshake(conn, Member{ID: 424242, Addr: "127.0.0.1:9"}, n.sig, nil); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	frame, err := wire.AppendFrame(nil, 2, encodeRaw(kindRepChunk, []byte{0xDE, 0xAD, 0xBE}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The node closes the connection; anything it sent beforehand
+	// (heartbeats) may still be buffered, so read until the drop.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for {
+		_, _, next, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				t.Fatal("link survived a hostile replication frame")
+			}
+			return // dropped, as required
+		}
+		buf = next
+	}
+}

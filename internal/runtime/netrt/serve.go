@@ -192,6 +192,40 @@ func (n *Node) serveClient(conn net.Conn) {
 				reply(reqID, kindClientInfoR, infoMsg{
 					ID: n.id, Addr: n.addr, Members: n.snapshot(), Store: len(n.owned),
 					Recovered: n.recovered, Replayed: n.replayed,
+					Replicas: n.cfg.Replicas, Down: n.downMembers(),
+					SyncedOwners: n.syncedOwners(), Extras: len(n.extras),
+					Repairs:      n.repairsApplied.Load(),
+					RepairChunks: n.repairChunksRx.Load(), RepairFallback: n.repairFallback.Load(),
+				})
+			})
+		case kindClientPublish:
+			var cm clientPublishMsg
+			if decodeBody(body, &cm) != nil {
+				return
+			}
+			reqID := id
+			n.rt.Schedule(0, func() {
+				n.startMutation(cm.ID, cm.Obj, false, func(err error) {
+					var msg clientMutRMsg
+					if err != nil {
+						msg.Err = err.Error()
+					}
+					reply(reqID, kindClientMutR, msg)
+				})
+			})
+		case kindClientDelete:
+			var cm clientDeleteMsg
+			if decodeBody(body, &cm) != nil {
+				return
+			}
+			reqID := id
+			n.rt.Schedule(0, func() {
+				n.startMutation(cm.ID, cm.Obj, true, func(err error) {
+					var msg clientMutRMsg
+					if err != nil {
+						msg.Err = err.Error()
+					}
+					reply(reqID, kindClientMutR, msg)
 				})
 			})
 		default:

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRegionDigestRoundTrip(t *testing.T) {
+	in := RegionDigest{Owner: 0xA1B2C3D4E5F60718, Transfer: 42, Entries: 512, Digest: 0xFEEDFACECAFEBEEF}
+	enc := AppendDigest(nil, in)
+	if len(enc) != DigestBytes {
+		t.Fatalf("digest encoded to %d bytes, want %d", len(enc), DigestBytes)
+	}
+	out, err := DecodeDigest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+// TestHostileTransferFrameSweep is the hostile-stream sweep for every
+// bulk-transfer frame codec (chunks, acks, digests), mirroring the
+// WAL's TestTornTailEveryOffset: a valid encoding truncated at every
+// byte offset, extended with trailing garbage, or corrupted in its
+// declared lengths must decode to a typed *FrameError — never a panic,
+// never a partial struct, never an allocation proportional to the
+// declared (rather than actual) size.
+func TestHostileTransferFrameSweep(t *testing.T) {
+	chunk := RegionChunk{Transfer: 7, Index: "netrt-region", Seq: 3, Last: true, Data: bytes.Repeat([]byte{0xAB}, 64)}
+	chunkEnc, err := AppendChunk(nil, &chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackEnc := AppendAck(nil, RegionAck{Transfer: 7, Seq: 3})
+	digEnc := AppendDigest(nil, RegionDigest{Owner: 9, Transfer: 7, Entries: 64, Digest: 123})
+
+	codecs := []struct {
+		name   string
+		enc    []byte
+		decode func([]byte) error
+	}{
+		{"chunk", chunkEnc, func(b []byte) error { _, err := DecodeChunk(b); return err }},
+		{"ack", ackEnc, func(b []byte) error { _, err := DecodeAck(b); return err }},
+		{"digest", digEnc, func(b []byte) error { _, err := DecodeDigest(b); return err }},
+	}
+	for _, c := range codecs {
+		// The intact encoding must decode.
+		if err := c.decode(c.enc); err != nil {
+			t.Fatalf("%s: intact encoding refused: %v", c.name, err)
+		}
+		// Truncation at every byte offset.
+		for cut := 0; cut < len(c.enc); cut++ {
+			err := c.decode(c.enc[:cut])
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("%s: truncation at %d: want *FrameError, got %v", c.name, cut, err)
+			}
+		}
+		// Trailing garbage of several lengths.
+		for _, extra := range []int{1, 7, 1024} {
+			junk := append(append([]byte(nil), c.enc...), bytes.Repeat([]byte{0xFF}, extra)...)
+			err := c.decode(junk)
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("%s: %d trailing bytes: want *FrameError, got %v", c.name, extra, err)
+			}
+		}
+	}
+}
+
+// TestHostileChunkDeclaredLengths corrupts a chunk's declared name and
+// data lengths to every byte value at their offsets: a declared length
+// that disagrees with the actual payload must be a typed error, and an
+// oversized declared data length must never drive an allocation (the
+// decoder validates against the actual buffer before copying).
+func TestHostileChunkDeclaredLengths(t *testing.T) {
+	chunk := RegionChunk{Transfer: 1, Index: "x", Seq: 0, Data: []byte("abcdef")}
+	enc, err := AppendChunk(nil, &chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offsets 13..14 hold the name length, 15..18 the data length.
+	for off := 13; off < 19; off++ {
+		for b := 0; b < 256; b++ {
+			mut := append([]byte(nil), enc...)
+			if mut[off] == byte(b) {
+				continue
+			}
+			mut[off] = byte(b)
+			_, err := DecodeChunk(mut)
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("offset %d = %#x decoded without a typed error", off, b)
+			}
+		}
+	}
+	// A maximal declared data length with no data behind it.
+	mut := append([]byte(nil), enc[:ChunkHeaderBytes]...)
+	mut[15], mut[16], mut[17], mut[18] = 0xFF, 0xFF, 0xFF, 0xFF
+	_, err = DecodeChunk(mut)
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("maximal declared length: want *FrameError, got %v", err)
+	}
+}
+
+// TestHostileDigestWrongKindSize feeds every payload size from 0 to
+// 4·DigestBytes through the digest decoder: only the exact size
+// decodes.
+func TestHostileDigestWrongKindSize(t *testing.T) {
+	for n := 0; n <= 4*DigestBytes; n++ {
+		_, err := DecodeDigest(make([]byte, n))
+		if n == DigestBytes {
+			if err != nil {
+				t.Fatalf("exact-size digest refused: %v", err)
+			}
+			continue
+		}
+		var fe *FrameError
+		if !errors.As(err, &fe) || fe.Reason != "truncated payload" {
+			t.Fatalf("size %d: want truncated-payload FrameError, got %v", n, err)
+		}
+	}
+}

@@ -41,6 +41,12 @@ type NodeOptions struct {
 	// GossipPeriod is the membership anti-entropy interval (default
 	// 500ms).
 	GossipPeriod time.Duration
+	// Replicas is how many ring successors hold a streamed copy of this
+	// node's region (default 0: no replication). With Replicas ≥ 1 the
+	// ring keeps answering Complete and exact for a dead member's region
+	// once the failure detector marks it down: its shards are answered
+	// from the synced copies. Every member should use the same value.
+	Replicas int
 	// Faults injects frame drops and connection kills into the node's
 	// peer links — the same policy knobs as Options.Faults, applied at
 	// the TCP transport.
@@ -83,6 +89,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		DataDir:      opts.DataDir,
 		Deadline:     opts.Deadline,
 		GossipPeriod: opts.GossipPeriod,
+		Replicas:     opts.Replicas,
 		Faults:       opts.Faults,
 		Logf:         opts.Logf,
 	})
@@ -113,9 +120,12 @@ func (n *Node) Stats() NodeStats { return n.inner.Stats() }
 func (n *Node) Reliability() ReliabilityStats {
 	s := n.inner.Stats()
 	return ReliabilityStats{
-		TransportShed: s.Shed,
-		QueueDepth:    s.Queued,
-		Reconnects:    s.Redials,
+		TransportShed:  s.Shed,
+		QueueDepth:     s.Queued,
+		Reconnects:     s.Redials,
+		ReplicaRepairs: s.Repairs,
+		RepairChunks:   s.RepairChunks,
+		RepairFallback: s.RepairFallback,
 	}
 }
 
@@ -133,6 +143,35 @@ func (n *Node) QueryVector(q Vector, r float64, timeout time.Duration) (NodeResu
 // the ring ("edit" corpus). Safe from any goroutine.
 func (n *Node) QueryString(q string, r float64, timeout time.Duration) (NodeResult, error) {
 	return n.inner.Query(netrt.EncodeStringQuery(q), r, timeout)
+}
+
+// PublishVector inserts one vector object under id ("euclid" corpus).
+// The mutation routes to the owner of the object's ring key, is
+// journaled when the owner is durable, and fans out to the owner's
+// replicas; id must not collide with the deterministic boot corpus.
+func (n *Node) PublishVector(id int32, v Vector, timeout time.Duration) error {
+	return n.inner.Publish(id, netrt.EncodeVectorQuery(v), timeout)
+}
+
+// PublishString inserts one string object under id ("edit" corpus).
+func (n *Node) PublishString(id int32, s string, timeout time.Duration) error {
+	return n.inner.Publish(id, netrt.EncodeStringQuery(s), timeout)
+}
+
+// DeleteID tombstones one boot-corpus entry by id.
+func (n *Node) DeleteID(id int32, timeout time.Duration) error {
+	return n.inner.Delete(id, nil, timeout)
+}
+
+// DeleteVector removes a published vector entry (the object bytes
+// re-derive the ring key the delete routes by).
+func (n *Node) DeleteVector(id int32, v Vector, timeout time.Duration) error {
+	return n.inner.Delete(id, netrt.EncodeVectorQuery(v), timeout)
+}
+
+// DeleteString removes a published string entry.
+func (n *Node) DeleteString(id int32, s string, timeout time.Duration) error {
+	return n.inner.Delete(id, netrt.EncodeStringQuery(s), timeout)
 }
 
 // NodeClient is a TCP connection to a ring node's client port; it runs

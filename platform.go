@@ -381,6 +381,16 @@ type ReliabilityStats struct {
 	QueueDepth int
 	// Reconnects counts transport link re-dials (deployed nodes only).
 	Reconnects int64
+	// ReplicaRepairs counts replica-region bulk streams installed on a
+	// deployed Node (anti-entropy repairs and initial syncs);
+	// RepairChunks counts the stream chunks received. RepairFallback
+	// counts repairs that fell back to point-wise transfer — by
+	// construction always zero (the soak asserts it), kept as a counter
+	// so a future regression is observable rather than silent. All zero
+	// on simulated and in-process platforms.
+	ReplicaRepairs int64
+	RepairChunks   int64
+	RepairFallback int64
 }
 
 // Reliability returns the platform's loss/retry counters.
